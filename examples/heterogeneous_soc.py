@@ -1,0 +1,90 @@
+"""A heterogeneous accelerator: three different Systems on one device.
+
+The paper's title feature: Beethoven composes *heterogeneous* multi-core
+SoCs.  Here one build carries a 2-core vector-add System, a 1-core memcpy
+System and a 2-core A^3 attention System; the elaborator floorplans all five
+cores together, builds one shared memory network and one command fabric, and
+the host drives all three concurrently through a single runtime handle.
+
+Run:  python examples/heterogeneous_soc.py
+"""
+
+import numpy as np
+
+from repro.core import BeethovenBuild, BuildMode
+from repro.kernels.attention import a3_config, attention_a3_fixed, scale_log2e_q
+from repro.kernels.memcpy import memcpy_config
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import AWSF1Platform
+from repro.runtime import FpgaHandle
+
+
+def main() -> None:
+    build = BeethovenBuild(
+        [
+            vector_add_config(n_cores=2, name="VecAdd"),
+            memcpy_config(n_cores=1, name="Copy"),
+            a3_config(n_cores=2, dim=32, n_keys=64, name="Attn"),
+        ],
+        AWSF1Platform(),
+        BuildMode.Synthesis,
+    )
+    print(build.summary())
+    handle = FpgaHandle(build.design)
+    rng = np.random.default_rng(11)
+
+    # Prepare operands for all three Systems.
+    vec = rng.integers(0, 2**31, 128, dtype=np.uint32)
+    p_vec = handle.malloc(vec.nbytes)
+    p_vec.write(vec.tobytes())
+    handle.copy_to_fpga(p_vec)
+
+    blob = rng.integers(0, 256, 16384, dtype=np.uint8).tobytes()
+    p_src, p_dst = handle.malloc(16384), handle.malloc(16384)
+    p_src.write(blob)
+    handle.copy_to_fpga(p_src)
+
+    keys = rng.integers(-40, 40, (64, 32)).astype(np.int8)
+    values = rng.integers(-40, 40, (64, 32)).astype(np.int8)
+    queries = rng.integers(-40, 40, (8, 32)).astype(np.int8)
+    p_k, p_v = handle.malloc(keys.nbytes), handle.malloc(values.nbytes)
+    p_q, p_o = handle.malloc(queries.nbytes), handle.malloc(queries.nbytes)
+    for p, m in ((p_k, keys), (p_v, values), (p_q, queries)):
+        p.write(m.tobytes())
+        handle.copy_to_fpga(p)
+    handle.call("Attn", "load_kv", 0, key_addr=p_k.fpga_addr, value_addr=p_v.fpga_addr).get()
+
+    # Fire everything concurrently; the runtime interleaves the dispatches
+    # and the shared memory network arbitrates the traffic.
+    start = handle.cycle
+    futures = [
+        handle.call("VecAdd", "my_accel", 0, addend=42, vec_addr=p_vec.fpga_addr, n_eles=128),
+        handle.call("Copy", "memcpy", 0, src=p_src.fpga_addr, dst=p_dst.fpga_addr, len_bytes=16384),
+        handle.call(
+            "Attn", "attend", 0,
+            query_addr=p_q.fpga_addr, out_addr=p_o.fpga_addr,
+            n_queries=8, temp_q=scale_log2e_q(32, 0.05),
+        ),
+    ]
+    for fut in futures:
+        fut.get()
+    elapsed = handle.cycle - start
+
+    handle.copy_from_fpga(p_vec)
+    assert (np.frombuffer(p_vec.read(), dtype=np.uint32) == vec + 42).all()
+    handle.copy_from_fpga(p_dst)
+    assert p_dst.read() == blob
+    handle.copy_from_fpga(p_o)
+    got = np.frombuffer(p_o.read(), dtype=np.int8).reshape(8, 32)
+    expected = np.stack([attention_a3_fixed(q, keys, values, 0.05) for q in queries])
+    assert (got == expected).all()
+    print(f"all three Systems verified; concurrent run took {elapsed} cycles")
+    print("generated bindings cover every System:")
+    header = build.emit_cpp_header()
+    for line in header.splitlines():
+        if line.startswith("namespace"):
+            print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

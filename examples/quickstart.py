@@ -1,0 +1,58 @@
+"""Quickstart: the paper's vector-add walkthrough (Figures 2 and 3).
+
+Builds the one-core vector-add accelerator for the simulation platform,
+shows every generated artefact (C++ bindings, Verilog netlist, constraint
+file), then drives it through the runtime exactly like Figure 3c:
+
+    fpga_handle_t handle;
+    remote_ptr mem = handle.malloc(1024);
+    ... copy_to_fpga, my_accel(0, 0xCAFE, mem, 256), resp.get() ...
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import BeethovenBuild, BuildMode
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import AWSF1Platform
+from repro.runtime import FpgaHandle, bindings_for
+
+
+def main() -> None:
+    # -- Figure 3a: configuration + build -------------------------------
+    config = vector_add_config(n_cores=2)
+    build = BeethovenBuild(config, AWSF1Platform(), BuildMode.Simulation)
+    print(build.summary())
+    print()
+
+    # -- Figure 3b: the generated C++ host bindings ----------------------
+    print("generated C++ header:")
+    print(build.emit_cpp_header())
+
+    # -- a slice of the generated structural Verilog ----------------------
+    verilog = build.emit_verilog()
+    print(f"generated Verilog: {len(verilog.splitlines())} lines; first module:")
+    print("\n".join(verilog.splitlines()[:12]))
+    print()
+
+    # -- Figure 3c: the host program -------------------------------------
+    handle = FpgaHandle(build.design)
+    mem = handle.malloc(1024)
+    data = np.arange(256, dtype=np.uint32)
+    mem.write(data.tobytes())  # my_init(mem.getHostAddr())
+    handle.copy_to_fpga(mem)
+
+    accel = bindings_for(handle, "MyAcceleratorSystem")
+    resp = accel.my_accel(0, addend=0xCAFE, vec_addr=mem.fpga_addr, n_eles=256)
+    print("response:", resp.get())  # blocks (advances simulation)
+
+    handle.copy_from_fpga(mem)
+    result = np.frombuffer(mem.read(), dtype=np.uint32)
+    assert (result == data + 0xCAFE).all()
+    print(f"vector add verified on-device in {handle.cycle} cycles "
+          f"({resp.latency_cycles} cycles of accelerator latency)")
+
+
+if __name__ == "__main__":
+    main()

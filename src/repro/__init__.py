@@ -1,0 +1,19 @@
+"""repro — a pure-Python reproduction of Beethoven (ISPASS 2025).
+
+Beethoven composes heterogeneous multi-core accelerator SoCs: the user writes
+per-core logic against Reader/Writer/Scratchpad and command abstractions, and
+the framework generates the memory subsystem, the SLR-aware on-chip networks,
+the host software bindings and the runtime.  This package rebuilds that whole
+stack on a cycle-level simulation substrate.
+
+Public API highlights (see README for a tour):
+
+* :mod:`repro.core` — ``AcceleratorCore``, ``AcceleratorConfig``,
+  ``BeethovenBuild`` and friends (the paper's Figures 2 and 3).
+* :mod:`repro.memory` — ``Reader``, ``Writer``, ``Scratchpad``.
+* :mod:`repro.runtime` — ``FpgaHandle``, ``RemotePtr``, ``ResponseHandle``.
+* :mod:`repro.platforms` — ``AWSF1Platform``, ``KriaPlatform``, ASIC and
+  simulation platforms.
+"""
+
+__version__ = "1.0.0"

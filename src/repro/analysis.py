@@ -1,0 +1,101 @@
+"""Post-simulation analysis helpers.
+
+Operate on :class:`~repro.axi.TxnRecord` lists (from the AXI monitor) and on
+controller reports to extract the quantities the paper's evaluation plots:
+throughput, latency distributions, latency-under-load growth, and per-master
+bandwidth shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.axi.monitor import TxnRecord
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+    growth: float  # max latency / first-quartile mean: queueing indicator
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 1.0)
+
+
+def _percentile(sorted_vals: Sequence[int], frac: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(int(frac * len(sorted_vals)), len(sorted_vals) - 1)
+    return float(sorted_vals[idx])
+
+
+def latency_stats(records: Sequence[TxnRecord], kind: Optional[str] = None) -> LatencyStats:
+    """Latency distribution of completed transactions."""
+    lats = [
+        r.latency
+        for r in records
+        if r.complete_cycle is not None and (kind is None or r.kind == kind)
+    ]
+    if not lats:
+        return LatencyStats.empty()
+    ordered = sorted(lats)
+    quartile = max(len(lats) // 4, 1)
+    by_issue = [
+        r.latency
+        for r in sorted(
+            (
+                r
+                for r in records
+                if r.complete_cycle is not None and (kind is None or r.kind == kind)
+            ),
+            key=lambda r: r.issue_cycle,
+        )
+    ]
+    head_mean = sum(by_issue[:quartile]) / quartile
+    return LatencyStats(
+        count=len(lats),
+        mean=sum(lats) / len(lats),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        max=float(ordered[-1]),
+        growth=ordered[-1] / head_mean if head_mean else 1.0,
+    )
+
+
+def bytes_transferred(records: Sequence[TxnRecord], beat_bytes: int = 64) -> Dict[str, int]:
+    out = {"read": 0, "write": 0}
+    for r in records:
+        if r.complete_cycle is not None:
+            out[r.kind] += r.length * beat_bytes
+    return out
+
+
+def bandwidth_share(
+    records: Sequence[TxnRecord], region_of, beat_bytes: int = 64
+) -> Dict[object, int]:
+    """Bytes moved per region key (``region_of(addr) -> key``): used to
+    check that the tree arbitration shares bandwidth fairly across masters
+    working in disjoint address regions."""
+    shares: Dict[object, int] = {}
+    for r in records:
+        if r.complete_cycle is None:
+            continue
+        key = region_of(r.addr)
+        shares[key] = shares.get(key, 0) + r.length * beat_bytes
+    return shares
+
+
+def fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one master hogs."""
+    vals = [float(v) for v in values]
+    if not vals or not any(vals):
+        return 1.0
+    num = sum(vals) ** 2
+    den = len(vals) * sum(v * v for v in vals)
+    return num / den

@@ -1,0 +1,22 @@
+"""ASIC backend: SRAM macro libraries, memory compiler, ChipKIT tops."""
+
+from repro.asic.chipkit import ChipKitIntegration, MissingCpuSourceError
+from repro.asic.macros import (
+    ASAP7_MACROS,
+    MacroPlan,
+    MemoryCompiler,
+    MemoryCompilerError,
+    SAED_MACROS,
+    SramMacro,
+)
+
+__all__ = [
+    "ChipKitIntegration",
+    "MissingCpuSourceError",
+    "ASAP7_MACROS",
+    "SAED_MACROS",
+    "MacroPlan",
+    "MemoryCompiler",
+    "MemoryCompilerError",
+    "SramMacro",
+]

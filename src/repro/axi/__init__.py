@@ -1,0 +1,17 @@
+"""Transaction-level AXI4 protocol model."""
+
+from repro.axi.monitor import AxiMonitor, MonitoredAxiPort, TxnRecord
+from repro.axi.types import ARReq, AWReq, AxiParams, AxiPort, BResp, RBeat, WBeat
+
+__all__ = [
+    "ARReq",
+    "AWReq",
+    "AxiParams",
+    "AxiPort",
+    "AxiMonitor",
+    "MonitoredAxiPort",
+    "BResp",
+    "RBeat",
+    "WBeat",
+    "TxnRecord",
+]

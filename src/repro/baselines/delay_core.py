@@ -1,0 +1,56 @@
+"""A fixed-latency stand-in core for host-contention studies.
+
+``DelayCore`` accepts a command, stays busy for a configured number of
+cycles, then responds — the minimal core that still exercises the *entire*
+host path (runtime server lock, MMIO words, command router, response
+polling).  The Figure 6 ideal-vs-measured gap is a host-path property, so
+measuring it with DelayCores at each kernel's latency is exact while keeping
+multi-core simulations tractable for long kernels.
+"""
+
+from __future__ import annotations
+
+from repro.command.packing import CommandSpec, EmptyAccelResponse, Field, UInt
+from repro.core.accelerator import AcceleratorCore
+from repro.core.config import AcceleratorConfig
+
+
+class DelayCore(AcceleratorCore):
+    """Busy for ``latency_cycles`` per command, then responds."""
+
+    def __init__(self, ctx, latency_cycles: int) -> None:
+        super().__init__(ctx)
+        self.latency_cycles = max(int(latency_cycles), 1)
+        self.io = self.beethoven_io(
+            CommandSpec("run", (Field("job", UInt(32)),)),
+            EmptyAccelResponse(),
+        )
+        self._busy = 0
+        self._responding = False
+        self.jobs_done = 0
+
+    def tick(self, cycle: int) -> None:
+        if self._responding:
+            if self.io.resp.can_push():
+                self.io.resp.push({})
+                self.jobs_done += 1
+                self._responding = False
+            return
+        if self._busy > 0:
+            self._busy -= 1
+            if self._busy == 0:
+                self._responding = True
+            return
+        if self.io.req.can_pop():
+            self.io.req.pop()
+            self._busy = self.latency_cycles
+
+    def idle(self) -> bool:
+        return self._busy == 0 and not self._responding
+
+
+def delay_config(n_cores: int, latency_cycles: int, name: str = "Delay") -> AcceleratorConfig:
+    def make(ctx):
+        return DelayCore(ctx, latency_cycles)
+
+    return AcceleratorConfig(name=name, n_cores=n_cores, module_constructor=make)

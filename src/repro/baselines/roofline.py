@@ -1,0 +1,82 @@
+"""Analytical CPU/GPU baselines for the attention case study (Table III).
+
+We have neither the paper's 12-core i7-12700K nor its RTX 3090, so these
+baselines are roofline models with documented constants: peak arithmetic
+throughput, memory bandwidth, TDP-class power, and an *achieved fraction*
+anchored to the attention throughputs the paper measured (attention at batch
+size is softmax/memory-bound, far from peak FLOPs on both machines — the
+paper's own numbers imply ~2-3% of peak on each, which is what we encode).
+``measure_numpy_attention`` additionally reports a genuinely measured number
+on the local machine as a sanity row.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.attention.reference import attention_float
+
+
+def attention_flops(dim: int, n_keys: int) -> float:
+    """FLOPs per attention op: scores (2nd per key) + weighted sum + softmax."""
+    return 2.0 * n_keys * dim + 2.0 * n_keys * dim + 5.0 * n_keys
+
+
+@dataclass(frozen=True)
+class RooflineBaseline:
+    """A machine described by peak numbers and an achieved fraction."""
+
+    name: str
+    peak_flops: float  # at the relevant precision
+    mem_bw_bytes: float
+    power_w: float
+    achieved_fraction: float  # of peak, for this workload class
+
+    def ops_per_second(self, dim: int, n_keys: int) -> float:
+        return self.achieved_fraction * self.peak_flops / attention_flops(dim, n_keys)
+
+    def energy_per_op_uj(self, dim: int, n_keys: int) -> float:
+        return self.power_w / self.ops_per_second(dim, n_keys) * 1e6
+
+
+#: 12-core i7-12700K, FP32: ~0.6 TFLOP/s peak, 75 W package power under
+#: this load.  Fraction anchored to the paper's 84.8 K attention ops/s.
+CPU_I7_12700K = RooflineBaseline(
+    "cpu-i7-12700k", peak_flops=0.6e12, mem_bw_bytes=75e9, power_w=75.0,
+    achieved_fraction=0.0118,
+)
+
+#: RTX 3090, FP16 tensor: ~35.6 TFLOP/s peak, 320 W.  Fraction anchored to
+#: the paper's 5.0 M attention ops/s at batch 1024x18.
+GPU_RTX_3090 = RooflineBaseline(
+    "gpu-rtx3090", peak_flops=35.6e12, mem_bw_bytes=936e9, power_w=320.0,
+    achieved_fraction=0.0117,
+)
+
+
+@dataclass(frozen=True)
+class AsicA3Baseline:
+    """The original single-core A^3 ASIC at 1 GHz (paper Table III)."""
+
+    clock_hz: float = 1.0e9
+    pipeline_overhead_cycles: int = 20
+
+    def ops_per_second(self, n_keys: int) -> float:
+        return self.clock_hz / (n_keys + self.pipeline_overhead_cycles)
+
+
+def measure_numpy_attention(dim: int, n_keys: int, iterations: int = 200) -> float:
+    """Actually measured single-thread NumPy attention ops/s on this host."""
+    rng = np.random.default_rng(0)
+    q = rng.normal(0, 1, dim).astype(np.float32)
+    keys = rng.normal(0, 1, (n_keys, dim)).astype(np.float32)
+    values = rng.normal(0, 1, (n_keys, dim)).astype(np.float32)
+    attention_float(q, keys, values)  # warm
+    start = time.perf_counter()
+    for _ in range(iterations):
+        attention_float(q, keys, values)
+    elapsed = time.perf_counter() - start
+    return iterations / elapsed

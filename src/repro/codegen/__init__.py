@@ -1,0 +1,5 @@
+"""Host software generation: C++ headers and Python binding objects."""
+
+from repro.codegen.cpp import binding_signature, generate_header, response_struct
+
+__all__ = ["binding_signature", "generate_header", "response_struct"]

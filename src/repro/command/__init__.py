@@ -1,0 +1,37 @@
+"""Host-to-accelerator command subsystem (RoCC over MMIO)."""
+
+from repro.command.packing import (
+    ADDRESS_WIDTH,
+    Address,
+    CommandSpec,
+    EmptyAccelResponse,
+    Field,
+    Float32,
+    ResponseSpec,
+    UInt,
+)
+from repro.command.rocc import CUSTOM_0, RoccInstruction, RoccResponse
+from repro.command.router import (
+    BeethovenIO,
+    CommandRouter,
+    CoreCommandAdapter,
+    MmioFrontend,
+)
+
+__all__ = [
+    "ADDRESS_WIDTH",
+    "Address",
+    "CommandSpec",
+    "EmptyAccelResponse",
+    "Field",
+    "Float32",
+    "ResponseSpec",
+    "UInt",
+    "CUSTOM_0",
+    "RoccInstruction",
+    "RoccResponse",
+    "BeethovenIO",
+    "CommandRouter",
+    "CoreCommandAdapter",
+    "MmioFrontend",
+]

@@ -1,0 +1,181 @@
+"""Custom command/response formats and their RoCC packing.
+
+Developers declare command payloads as named, typed fields (the Python
+equivalent of the paper's ``new AccelCommand { val addend = UInt(32.W) ... }``
+in Figure 2).  Beethoven transparently maps such commands onto the RoCC
+instruction format: the fields are concatenated LSB-first and split over as
+many 128-bit RoCC payloads as needed; the generated hardware unpacker
+reassembles them.  Because ``Address`` fields resolve to the platform's
+address width, the same declaration produces different bit layouts on
+different platforms — which is exactly why Beethoven generates the host-side
+binding code instead of letting the user hand-pack bits (Section II-B,
+Command Abstractions).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.command.rocc import PAYLOAD_BITS
+
+ADDRESS_WIDTH = "address"  # sentinel: resolved to the platform address width
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named field of a custom command or response."""
+
+    name: str
+    width: object  # int bit width, ADDRESS_WIDTH, or "float32"
+
+    def resolved_width(self, addr_bits: int) -> int:
+        if self.width == ADDRESS_WIDTH:
+            return addr_bits
+        if self.width == "float32":
+            return 32
+        if isinstance(self.width, int) and self.width > 0:
+            return self.width
+        raise ValueError(f"bad field width {self.width!r} for {self.name!r}")
+
+    @property
+    def is_float(self) -> bool:
+        return self.width == "float32"
+
+    @property
+    def is_address(self) -> bool:
+        return self.width == ADDRESS_WIDTH
+
+
+def UInt(width: int) -> object:
+    """Width helper mirroring Chisel's ``UInt(32.W)`` for readability."""
+    return width
+
+
+def Address() -> object:
+    """Platform-address-width field (paper Figure 2: ``Address()``)."""
+    return ADDRESS_WIDTH
+
+
+def Float32() -> object:
+    return "float32"
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """A named custom command format (an ``AccelCommand``)."""
+
+    name: str
+    fields: Tuple[Field, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in command {self.name!r}")
+
+    def total_bits(self, addr_bits: int) -> int:
+        return sum(f.resolved_width(addr_bits) for f in self.fields)
+
+    def n_chunks(self, addr_bits: int) -> int:
+        return max(1, -(-self.total_bits(addr_bits) // PAYLOAD_BITS))
+
+    # -- packing ------------------------------------------------------------
+    def pack(self, values: Dict[str, object], addr_bits: int) -> List[Tuple[int, int]]:
+        """Pack field values into (rs1, rs2) payload pairs, LSB-first."""
+        missing = {f.name for f in self.fields} - set(values)
+        if missing:
+            raise ValueError(f"missing fields for {self.name!r}: {sorted(missing)}")
+        extra = set(values) - {f.name for f in self.fields}
+        if extra:
+            raise ValueError(f"unknown fields for {self.name!r}: {sorted(extra)}")
+        blob = 0
+        pos = 0
+        for f in self.fields:
+            width = f.resolved_width(addr_bits)
+            raw = _encode_value(f, values[f.name], width)
+            blob |= raw << pos
+            pos += width
+        chunks = []
+        mask64 = (1 << 64) - 1
+        for _ in range(self.n_chunks(addr_bits)):
+            rs1 = blob & mask64
+            rs2 = (blob >> 64) & mask64
+            chunks.append((rs1, rs2))
+            blob >>= PAYLOAD_BITS
+        return chunks
+
+    def unpack(self, chunks: Sequence[Tuple[int, int]], addr_bits: int) -> Dict[str, object]:
+        """Reassemble field values from (rs1, rs2) payload pairs."""
+        if len(chunks) != self.n_chunks(addr_bits):
+            raise ValueError(
+                f"{self.name!r} expects {self.n_chunks(addr_bits)} chunks, got {len(chunks)}"
+            )
+        blob = 0
+        for i, (rs1, rs2) in enumerate(chunks):
+            blob |= ((rs2 << 64) | rs1) << (i * PAYLOAD_BITS)
+        out: Dict[str, object] = {}
+        pos = 0
+        for f in self.fields:
+            width = f.resolved_width(addr_bits)
+            raw = (blob >> pos) & ((1 << width) - 1)
+            out[f.name] = _decode_value(f, raw)
+            pos += width
+        return out
+
+
+@dataclass(frozen=True)
+class ResponseSpec:
+    """A custom response format; must fit one 64-bit RoCC response."""
+
+    name: str
+    fields: Tuple[Field, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.total_bits(64) > 64:
+            raise ValueError(
+                f"response {self.name!r} exceeds the 64-bit RoCC response payload"
+            )
+
+    def total_bits(self, addr_bits: int) -> int:
+        return sum(f.resolved_width(addr_bits) for f in self.fields)
+
+    def pack(self, values: Dict[str, object]) -> int:
+        blob = 0
+        pos = 0
+        for f in self.fields:
+            width = f.resolved_width(64)
+            blob |= _encode_value(f, values[f.name], width) << pos
+            pos += width
+        return blob
+
+    def unpack(self, data: int) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        pos = 0
+        for f in self.fields:
+            width = f.resolved_width(64)
+            out[f.name] = _decode_value(f, (data >> pos) & ((1 << width) - 1))
+            pos += width
+        return out
+
+
+def EmptyAccelResponse() -> ResponseSpec:
+    """A response with no payload — just completion (paper Figure 2)."""
+    return ResponseSpec("empty")
+
+
+def _encode_value(f: Field, value: object, width: int) -> int:
+    if f.is_float:
+        return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+    ivalue = int(value)
+    if ivalue < 0 or ivalue >= (1 << width):
+        raise ValueError(
+            f"value {value!r} does not fit field {f.name!r} ({width} bits)"
+        )
+    return ivalue
+
+
+def _decode_value(f: Field, raw: int) -> object:
+    if f.is_float:
+        return struct.unpack("<f", struct.pack("<I", raw))[0]
+    return raw

@@ -1,0 +1,111 @@
+"""RoCC instruction format (RocketChip custom co-processor extension).
+
+Beethoven delivers host commands in the RoCC format so generated accelerators
+can also drop into RISC-V systems with RoCC ports.  One RoCC command carries
+an instruction word (opcode, funct7, register specifiers) plus two 64-bit
+source register payloads; responses carry a destination register and one
+64-bit payload.  Wider custom commands are transparently split over several
+RoCC instructions by :mod:`repro.command.packing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CUSTOM_0 = 0b0001011  # RISC-V custom-0 opcode, the RoCC default
+
+#: funct7 sub-fields Beethoven uses for routing/segmenting custom commands.
+FUNCT7_BITS = 7
+PAYLOAD_BITS = 128  # rs1 + rs2
+
+
+@dataclass(frozen=True)
+class RoccInstruction:
+    """One RoCC command as delivered to the accelerator fabric."""
+
+    system_id: int
+    core_id: int
+    funct7: int
+    rs1: int
+    rs2: int
+    xd: bool = False  # does the host expect a response?
+    rd: int = 0
+    opcode: int = CUSTOM_0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.funct7 < (1 << FUNCT7_BITS):
+            raise ValueError(f"funct7 {self.funct7} out of range")
+        if not 0 <= self.rs1 < (1 << 64) or not 0 <= self.rs2 < (1 << 64):
+            raise ValueError("rs1/rs2 must be unsigned 64-bit values")
+        if not 0 <= self.rd < 32:
+            raise ValueError("rd must be a 5-bit register specifier")
+
+    @property
+    def payload(self) -> int:
+        """The 128-bit payload (rs2 in the high half)."""
+        return (self.rs2 << 64) | self.rs1
+
+    def encode_words(self) -> list:
+        """Pack into the 32-bit MMIO words the host writes (inst + payload)."""
+        inst = (
+            (self.funct7 << 25)
+            | (self.rd << 7)
+            | ((1 if self.xd else 0) << 14)
+            | self.opcode
+        )
+        route = (self.system_id << 8) | self.core_id
+        return [
+            inst & 0xFFFFFFFF,
+            route & 0xFFFFFFFF,
+            self.rs1 & 0xFFFFFFFF,
+            (self.rs1 >> 32) & 0xFFFFFFFF,
+            self.rs2 & 0xFFFFFFFF,
+            (self.rs2 >> 32) & 0xFFFFFFFF,
+        ]
+
+    @classmethod
+    def decode_words(cls, words) -> "RoccInstruction":
+        if len(words) != 6:
+            raise ValueError("a RoCC MMIO command is six 32-bit words")
+        inst, route, rs1_lo, rs1_hi, rs2_lo, rs2_hi = words
+        return cls(
+            system_id=(route >> 8) & 0xFFFFFF,
+            core_id=route & 0xFF,
+            funct7=(inst >> 25) & 0x7F,
+            rs1=(rs1_hi << 32) | rs1_lo,
+            rs2=(rs2_hi << 32) | rs2_lo,
+            xd=bool((inst >> 14) & 1),
+            rd=(inst >> 7) & 0x1F,
+            opcode=inst & 0x7F,
+        )
+
+
+@dataclass(frozen=True)
+class RoccResponse:
+    """One RoCC response travelling back to the host."""
+
+    system_id: int
+    core_id: int
+    rd: int
+    data: int  # 64-bit payload
+
+    def encode_words(self) -> list:
+        route = (self.system_id << 8) | self.core_id
+        return [
+            ((self.rd & 0x1F) << 8) | 1,  # valid bit + rd
+            route & 0xFFFFFFFF,
+            self.data & 0xFFFFFFFF,
+            (self.data >> 32) & 0xFFFFFFFF,
+        ]
+
+    @classmethod
+    def decode_words(cls, words) -> "RoccResponse":
+        if len(words) != 4:
+            raise ValueError("a RoCC MMIO response is four 32-bit words")
+        head, route, lo, hi = words
+        return cls(
+            system_id=(route >> 8) & 0xFFFFFF,
+            core_id=route & 0xFF,
+            rd=(head >> 8) & 0x1F,
+            data=(hi << 32) | lo,
+        )

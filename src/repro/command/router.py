@@ -1,0 +1,201 @@
+"""Command/response routing fabric and the per-core command adapter.
+
+The MMIO frontend turns host register writes into RoCC instructions; the
+router delivers them to the addressed (system, core) with an SLR-aware
+latency; the per-core adapter reassembles multi-chunk custom commands,
+presents decoded commands on the core's ``BeethovenIO`` queues and packs core
+responses back into RoCC responses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+from repro.command.packing import CommandSpec, ResponseSpec
+from repro.command.rocc import RoccInstruction, RoccResponse
+from repro.sim import ChannelQueue, Component, SimulationError
+
+
+class BeethovenIO:
+    """One named command/response interface of a core (paper Figure 2).
+
+    The core pops decoded commands (dicts of field values) from ``req`` and
+    pushes response dicts into ``resp``.
+    """
+
+    def __init__(self, command: CommandSpec, response: ResponseSpec, depth: int = 2) -> None:
+        self.command_spec = command
+        self.response_spec = response
+        self.req: ChannelQueue[dict] = ChannelQueue(depth, f"io.{command.name}.req")
+        self.resp: ChannelQueue[dict] = ChannelQueue(depth, f"io.{command.name}.resp")
+
+
+class CoreCommandAdapter(Component):
+    """Command unpacker + response packer sitting next to one core."""
+
+    def __init__(
+        self,
+        system_id: int,
+        core_id: int,
+        ios: List[BeethovenIO],
+        addr_bits: int,
+        name: str = "cmdadapt",
+    ) -> None:
+        super().__init__(f"{name}.{system_id}.{core_id}")
+        self.system_id = system_id
+        self.core_id = core_id
+        self.ios = ios
+        self.addr_bits = addr_bits
+        self.cmd_in: ChannelQueue[RoccInstruction] = ChannelQueue(4, f"{self.name}.in")
+        self.resp_out: ChannelQueue[RoccResponse] = ChannelQueue(4, f"{self.name}.out")
+        self._chunks: Dict[int, List[Tuple[int, int]]] = {}
+        self._pending_rd: List[Deque[int]] = [deque() for _ in ios]
+        self.commands_delivered = 0
+
+    def channels(self):
+        chans = [self.cmd_in, self.resp_out]
+        for io in self.ios:
+            chans += [io.req, io.resp]
+        return chans
+
+    def tick(self, cycle: int) -> None:
+        self._unpack(cycle)
+        self._pack_responses(cycle)
+
+    def _unpack(self, cycle: int) -> None:
+        if not self.cmd_in.can_pop():
+            return
+        inst = self.cmd_in.peek()
+        io_idx = inst.funct7
+        if io_idx >= len(self.ios):
+            raise SimulationError(
+                f"{self.name}: command for unknown IO index {io_idx}"
+            )
+        io = self.ios[io_idx]
+        expected = io.command_spec.n_chunks(self.addr_bits)
+        got = self._chunks.setdefault(io_idx, [])
+        if len(got) + 1 < expected:
+            self.cmd_in.pop()
+            got.append((inst.rs1, inst.rs2))
+            return
+        # Final chunk: only consume when the core can accept the command.
+        if not io.req.can_push():
+            return
+        self.cmd_in.pop()
+        got.append((inst.rs1, inst.rs2))
+        values = io.command_spec.unpack(got, self.addr_bits)
+        self._chunks[io_idx] = []
+        io.req.push(values)
+        self.commands_delivered += 1
+        if inst.xd:
+            self._pending_rd[io_idx].append(inst.rd)
+
+    def _pack_responses(self, cycle: int) -> None:
+        if not self.resp_out.can_push():
+            return
+        for idx, io in enumerate(self.ios):
+            if io.resp.can_pop() and self._pending_rd[idx]:
+                values = io.resp.pop()
+                rd = self._pending_rd[idx].popleft()
+                data = io.response_spec.pack(values) if io.response_spec.fields else 0
+                self.resp_out.push(
+                    RoccResponse(self.system_id, self.core_id, rd, data)
+                )
+                return
+
+
+@dataclass
+class _RouteEntry:
+    adapter: CoreCommandAdapter
+    latency: int
+
+
+class CommandRouter(Component):
+    """Routes RoCC instructions to core adapters and responses back.
+
+    Beethoven builds SLR-aware command networks; we model the network's
+    *effect* — per-destination pipeline latency proportional to SLR distance
+    plus tree depth — while the structural cost is priced by the FPGA
+    resource model.
+    """
+
+    def __init__(self, name: str = "cmdrouter") -> None:
+        super().__init__(name)
+        self.cmd_in: ChannelQueue[RoccInstruction] = ChannelQueue(4, f"{name}.cmd")
+        self.resp_out: ChannelQueue[RoccResponse] = ChannelQueue(4, f"{name}.resp")
+        self._routes: Dict[Tuple[int, int], _RouteEntry] = {}
+        self._cmd_delay: Deque[Tuple[int, RoccInstruction]] = deque()
+        self._resp_delay: Deque[Tuple[int, RoccResponse]] = deque()
+        self._resp_rr = 0
+
+    def attach(self, adapter: CoreCommandAdapter, latency: int = 2) -> None:
+        key = (adapter.system_id, adapter.core_id)
+        if key in self._routes:
+            raise ValueError(f"duplicate route for {key}")
+        self._routes[key] = _RouteEntry(adapter, latency)
+
+    def tick(self, cycle: int) -> None:
+        # Ingest one command per cycle into the delay line.
+        if self.cmd_in.can_pop():
+            inst = self.cmd_in.peek()
+            entry = self._routes.get((inst.system_id, inst.core_id))
+            if entry is None:
+                raise SimulationError(
+                    f"{self.name}: command for unknown core "
+                    f"({inst.system_id}, {inst.core_id})"
+                )
+            self.cmd_in.pop()
+            self._cmd_delay.append((cycle + entry.latency, inst))
+        # Deliver matured commands.
+        if self._cmd_delay:
+            ready_at, inst = self._cmd_delay[0]
+            entry = self._routes[(inst.system_id, inst.core_id)]
+            if ready_at <= cycle and entry.adapter.cmd_in.can_push():
+                self._cmd_delay.popleft()
+                entry.adapter.cmd_in.push(inst)
+        # Collect one response per cycle, round-robin over cores.
+        adapters = list(self._routes.values())
+        if adapters:
+            for k in range(len(adapters)):
+                entry = adapters[(self._resp_rr + k) % len(adapters)]
+                if entry.adapter.resp_out.can_pop():
+                    resp = entry.adapter.resp_out.pop()
+                    self._resp_delay.append((cycle + entry.latency, resp))
+                    self._resp_rr = (self._resp_rr + k + 1) % len(adapters)
+                    break
+        if self._resp_delay and self._resp_delay[0][0] <= cycle and self.resp_out.can_push():
+            self.resp_out.push(self._resp_delay.popleft()[1])
+
+
+class MmioFrontend(Component):
+    """The AXI-MMIO command/response system (paper Figure 1a).
+
+    The host (runtime model) writes 32-bit words into the command FIFO and
+    polls the response FIFO; the frontend reassembles RoCC instructions and
+    feeds the router.  ``mmio_word_cycles`` models the cost of one MMIO
+    register access as seen from the fabric side.
+    """
+
+    def __init__(self, router: CommandRouter, name: str = "mmio") -> None:
+        super().__init__(name)
+        self.router = router
+        self.cmd_words: ChannelQueue[int] = ChannelQueue(16, f"{name}.cmdw")
+        self.resp_words: ChannelQueue[int] = ChannelQueue(16, f"{name}.respw")
+        self._partial: List[int] = []
+        self.commands_forwarded = 0
+        self.responses_forwarded = 0
+
+    def tick(self, cycle: int) -> None:
+        if self.cmd_words.can_pop() and self.router.cmd_in.can_push():
+            self._partial.append(self.cmd_words.pop())
+            if len(self._partial) == 6:
+                self.router.cmd_in.push(RoccInstruction.decode_words(self._partial))
+                self._partial.clear()
+                self.commands_forwarded += 1
+        if self.router.resp_out.can_pop() and self.resp_words.can_push(4):
+            resp = self.router.resp_out.pop()
+            for word in resp.encode_words():
+                self.resp_words.push(word)
+            self.responses_forwarded += 1

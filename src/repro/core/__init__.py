@@ -1,0 +1,38 @@
+"""The Beethoven core framework: configs, cores, elaboration, builds."""
+
+from repro.core.accelerator import AcceleratorCore
+from repro.core.build import BeethovenBuild, BuildMode, InfeasibleDesignError
+from repro.core.config import (
+    AcceleratorConfig,
+    IntraCoreMemoryPortInConfig,
+    IntraCoreMemoryPortOutConfig,
+    ReadChannelConfig,
+    ScratchpadConfig,
+    ScratchpadFeatures,
+    WriteChannelConfig,
+    as_config_list,
+)
+from repro.core.context import CoreContext
+from repro.core.elaboration import ElaboratedCore, ElaboratedDesign, ElaboratedSystem
+from repro.core.intra import IntraCoreLink, IntraCoreMemory
+
+__all__ = [
+    "AcceleratorCore",
+    "BeethovenBuild",
+    "BuildMode",
+    "InfeasibleDesignError",
+    "AcceleratorConfig",
+    "ReadChannelConfig",
+    "WriteChannelConfig",
+    "ScratchpadConfig",
+    "ScratchpadFeatures",
+    "IntraCoreMemoryPortInConfig",
+    "IntraCoreMemoryPortOutConfig",
+    "as_config_list",
+    "CoreContext",
+    "ElaboratedCore",
+    "ElaboratedDesign",
+    "ElaboratedSystem",
+    "IntraCoreLink",
+    "IntraCoreMemory",
+]

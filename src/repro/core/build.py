@@ -1,0 +1,116 @@
+"""``BeethovenBuild`` — the user entry point (paper Figure 3a).
+
+Elaborates an accelerator configuration for a platform and exposes every
+generated artefact: the simulatable design, the structural Verilog, the
+placement constraints, the C++ host bindings and the reports.  The build
+modes mirror the paper's flows:
+
+* ``Simulation`` — elaborate + wire the cycle simulator (Verilator/DRAMsim3
+  role); the returned design is ready for :class:`repro.runtime.FpgaHandle`.
+* ``Synthesis`` — additionally runs the feasibility model (floorplan,
+  memcell mapping, routability) and refuses designs that would not route.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Union
+
+from repro.asic.chipkit import ChipKitIntegration
+from repro.codegen.cpp import generate_header
+from repro.core.config import AcceleratorConfig, as_config_list
+from repro.core.elaboration import ElaboratedDesign
+from repro.core.hdlgen import build_hdl
+from repro.hdl.verilog import emit_design
+from repro.platforms.base import Platform
+from repro.sim import Tracer
+
+
+class BuildMode(enum.Enum):
+    Simulation = "simulation"
+    Synthesis = "synthesis"
+
+
+class InfeasibleDesignError(RuntimeError):
+    """Raised in Synthesis mode when the design would not place/route."""
+
+
+class BeethovenBuild:
+    """Elaborate a configuration onto a platform and collect the artefacts."""
+
+    def __init__(
+        self,
+        configs: Union[AcceleratorConfig, Sequence[AcceleratorConfig]],
+        platform: Platform,
+        build_mode: BuildMode = BuildMode.Simulation,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.platform = platform
+        self.build_mode = build_mode
+        self.configs = as_config_list(configs)
+        self.design = ElaboratedDesign(self.configs, platform, tracer)
+        if build_mode is BuildMode.Synthesis:
+            report = self.design.routability
+            if report is not None and not report.feasible:
+                raise InfeasibleDesignError(
+                    "design fails the place/route feasibility model: "
+                    + "; ".join(report.reasons)
+                )
+
+    # ------------------------------------------------------------- artefacts
+    def emit_verilog(self) -> str:
+        return emit_design(self.hdl_top())
+
+    def hdl_top(self):
+        return build_hdl(self.design)
+
+    def emit_constraints(self) -> str:
+        return self.design.emit_constraints()
+
+    def emit_cpp_header(self) -> str:
+        return generate_header(self.design)
+
+    def emit_chipkit_top(self):
+        """ASIC flow: wrap the fabric with the user's licensed CPU."""
+        m0_path = getattr(self.platform, "m0_source_path", None)
+        integration = ChipKitIntegration(m0_source_path=m0_path or "")
+        return integration.build_top(self.hdl_top())
+
+    # ---------------------------------------------------------------- reports
+    @property
+    def resource_report(self):
+        return self.design.report
+
+    @property
+    def placement(self):
+        return self.design.placement
+
+    @property
+    def routability(self):
+        return self.design.routability
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the build."""
+        d = self.design
+        n_cores = sum(len(s.cores) for s in d.systems)
+        lines = [
+            f"Beethoven build: {len(d.systems)} system(s), {n_cores} core(s) "
+            f"on {self.platform.name}",
+        ]
+        if d.network is not None:
+            lines.append(
+                f"  memory network: {getattr(d, 'n_memory_interfaces', 0)} interfaces, "
+                f"{d.network.n_nodes} nodes, {d.network.n_pipes} SLR bridges"
+            )
+        if d.placement is not None and self.platform.device is not None:
+            per_slr = {
+                slr: len(d.placement.cores_on(slr))
+                for slr in range(self.platform.device.n_slrs)
+            }
+            lines.append(f"  floorplan: cores per SLR {per_slr}")
+        if d.routability is not None:
+            verdict = "routable" if d.routability.feasible else "NOT routable"
+            lines.append(
+                f"  feasibility: {verdict} (worst util {d.routability.worst_util:.1%})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Bank-level DRAM model with an AXI4 frontend (DRAMsim3-inspired)."""
+
+from repro.dram.bank import Bank
+from repro.dram.controller import MemoryController
+from repro.dram.store import MemoryStore
+from repro.dram.timing import DDR4_AWS_F1, LPDDR4_KRIA, DramTiming
+
+__all__ = [
+    "Bank",
+    "MemoryController",
+    "MemoryStore",
+    "DramTiming",
+    "DDR4_AWS_F1",
+    "LPDDR4_KRIA",
+]

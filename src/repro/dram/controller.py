@@ -1,0 +1,395 @@
+"""AXI4 memory controller over the bank-level DRAM model.
+
+This is the slave every Beethoven memory subsystem ultimately talks to.  It
+implements the mechanisms the paper's microbenchmark analysis hinges on:
+
+* **Per-ID transaction serialisation** — transactions sharing an AXI ID are
+  scheduled strictly in order (the behaviour of the Xilinx DDR controller the
+  paper cites); transactions on *different* IDs are scheduled out of order by
+  an FR-FCFS column scheduler.  This is why Beethoven's transaction-level
+  parallelism (TLP, splitting one logical transfer over several IDs) wins and
+  why HLS's single-ID streams suffer under load.
+* **Row-buffer locality** — banks pay precharge+activate to switch rows, so
+  fine-grained interleaving of many streams costs bandwidth.
+* **Data-bus direction grouping** — the shared data bus pays a turnaround
+  penalty when switching between reads and writes; the scheduler groups
+  same-direction columns like real controllers do.
+* **In-order per-ID return** — read data and write responses are returned in
+  issue order within an ID (an AXI requirement), so a slow transaction blocks
+  later same-ID transactions' data even when their columns already completed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.axi.monitor import MonitoredAxiPort
+from repro.axi.types import BResp, RBeat
+from repro.dram.bank import Bank
+from repro.dram.store import MemoryStore
+from repro.dram.timing import DramTiming
+from repro.sim import Component
+
+
+@dataclass
+class _ReadTxn:
+    tag: int
+    axi_id: int
+    addr: int
+    length: int
+    accept_cycle: int
+    cols_enqueued: int = 0
+    cols_done: int = 0
+    beats_sent: int = 0
+    beats: List[Optional[Tuple[int, bytes]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.beats = [None] * self.length
+
+
+@dataclass
+class _WriteTxn:
+    tag: int
+    axi_id: int
+    addr: int
+    length: int
+    accept_cycle: int
+    wbeats: List = field(default_factory=list)
+    data_complete: bool = False
+    cols_enqueued: int = 0
+    cols_done: int = 0
+
+
+@dataclass
+class _ColReq:
+    txn: object
+    beat_idx: int
+    addr: int
+    bank: int
+    row: int
+    is_write: bool
+    enqueued_cycle: int
+
+
+class MemoryController(Component):
+    """FR-FCFS DDR controller with an AXI4 slave frontend."""
+
+    def __init__(
+        self,
+        mport: MonitoredAxiPort,
+        timing: DramTiming,
+        store: Optional[MemoryStore] = None,
+        name: str = "mc",
+    ) -> None:
+        super().__init__(name)
+        self.mport = mport
+        self.port = mport.port
+        self.timing = timing
+        if self.port.params.beat_bytes != timing.col_bytes:
+            raise ValueError(
+                "AXI beat width must match the DRAM column width "
+                f"({self.port.params.beat_bytes} != {timing.col_bytes})"
+            )
+        self.store = store if store is not None else MemoryStore(timing.col_bytes)
+        self.banks = [Bank(timing) for _ in range(timing.n_banks)]
+
+        self._read_txns: Dict[int, _ReadTxn] = {}
+        self._write_txns: Dict[int, _WriteTxn] = {}
+        self._id_read_issue: Dict[int, Deque[_ReadTxn]] = {}
+        self._id_read_return: Dict[int, Deque[_ReadTxn]] = {}
+        self._id_write_issue: Dict[int, Deque[_WriteTxn]] = {}
+        self._id_write_return: Dict[int, Deque[_WriteTxn]] = {}
+        self._writes_awaiting_data: Deque[_WriteTxn] = deque()
+        # Per-ID, per-direction transaction pipelines: AXI orders same-ID
+        # transactions within each direction (reads with reads, writes with
+        # writes), and the controller processes at most ``per_id_txn_limit``
+        # of each in order.  Short-burst single-ID masters (HLS) therefore
+        # expose serialisation bubbles and fine-grained read/write bus
+        # turnaround that multi-ID masters hide.
+        self._id_read_pipe: Dict[int, Deque[object]] = {}
+        self._id_write_pipe: Dict[int, Deque[object]] = {}
+        self._sched: List[_ColReq] = []
+        self._bus_free_at = 0
+        self._bus_dir_write = False
+        self._dir_streak = 0
+        self._return_rr: List[int] = []  # round-robin order of IDs for R channel
+        self._return_rr_pos = 0
+
+        # Statistics
+        self.stats = {
+            "bus_cycles": 0,
+            "read_cols": 0,
+            "write_cols": 0,
+            "turnarounds": 0,
+            "row_hits": 0,
+            "row_misses": 0,
+            "refreshes": 0,
+        }
+
+    # ------------------------------------------------------------------ helpers
+    def _outstanding(self) -> int:
+        return len(self._read_txns) + len(self._write_txns)
+
+    def _rr_ids(self) -> List[int]:
+        ids = self._return_rr
+        if not ids:
+            return []
+        pos = self._return_rr_pos % len(ids)
+        return ids[pos:] + ids[:pos]
+
+    def _note_id(self, axi_id: int) -> None:
+        if axi_id not in self._return_rr:
+            self._return_rr.append(axi_id)
+
+    # ------------------------------------------------------------------ tick
+    def tick(self, cycle: int) -> None:
+        self._maybe_refresh(cycle)
+        self._accept_requests(cycle)
+        self._enqueue_columns(cycle)
+        self._prep_banks(cycle)
+        self._issue_column(cycle)
+        self._return_read_data(cycle)
+        self._return_write_responses(cycle)
+
+    # ------------------------------------------------------------------ phases
+    def _maybe_refresh(self, cycle: int) -> None:
+        if cycle and cycle % self.timing.t_refi == 0:
+            for bank in self.banks:
+                bank.block_for_refresh(cycle)
+            self.stats["refreshes"] += 1
+
+    def _accept_requests(self, cycle: int) -> None:
+        if self.port.ar.can_pop() and self._outstanding() < self.timing.max_outstanding_txns:
+            req = self.port.ar.pop()
+            txn = _ReadTxn(req.tag, req.axi_id, req.addr, req.length, cycle)
+            self._read_txns[req.tag] = txn
+            self._id_read_issue.setdefault(req.axi_id, deque()).append(txn)
+            self._id_read_return.setdefault(req.axi_id, deque()).append(txn)
+            self._id_read_pipe.setdefault(req.axi_id, deque()).append(txn)
+            self._note_id(req.axi_id)
+        if self.port.aw.can_pop() and self._outstanding() < self.timing.max_outstanding_txns:
+            req = self.port.aw.pop()
+            txn = _WriteTxn(req.tag, req.axi_id, req.addr, req.length, cycle)
+            self._write_txns[req.tag] = txn
+            self._id_write_issue.setdefault(req.axi_id, deque()).append(txn)
+            self._id_write_return.setdefault(req.axi_id, deque()).append(txn)
+            self._id_write_pipe.setdefault(req.axi_id, deque()).append(txn)
+            self._writes_awaiting_data.append(txn)
+            self._note_id(req.axi_id)
+        if self.port.w.can_pop() and self._writes_awaiting_data:
+            head = self._writes_awaiting_data[0]
+            beat = self.port.w.pop()
+            head.wbeats.append(beat)
+            if beat.last:
+                head.data_complete = True
+                self._writes_awaiting_data.popleft()
+
+    def _enqueue_columns(self, cycle: int) -> None:
+        """Move column commands from head-of-ID transactions into the
+        scheduler window.  Only the head transaction of each ID contributes —
+        this is the per-ID serialisation rule."""
+        budget = 8  # command-processing bandwidth per cycle
+        beat_bytes = self.timing.col_bytes
+        limit = self.timing.per_id_txn_limit
+        for axi_id in list(self._id_read_issue):
+            q = self._id_read_issue[axi_id]
+            while q and budget > 0 and len(self._sched) < self.timing.sched_queue_depth:
+                txn = q[0]
+                if txn.cols_enqueued >= txn.length:
+                    q.popleft()
+                    continue
+                if txn.cols_enqueued == 0 and not self._may_start(
+                    self._id_read_pipe, axi_id, txn
+                ):
+                    break
+                addr = txn.addr + txn.cols_enqueued * beat_bytes
+                bank, row, _col = self.timing.decompose(addr)
+                self._sched.append(
+                    _ColReq(txn, txn.cols_enqueued, addr, bank, row, False, cycle)
+                )
+                txn.cols_enqueued += 1
+                budget -= 1
+                if txn.cols_enqueued >= txn.length:
+                    q.popleft()
+                    break  # next same-ID txn starts no earlier than next cycle
+        for axi_id in list(self._id_write_issue):
+            q = self._id_write_issue[axi_id]
+            while q and budget > 0 and len(self._sched) < self.timing.sched_queue_depth:
+                txn = q[0]
+                if txn.cols_enqueued >= txn.length:
+                    q.popleft()
+                    continue
+                # Cut-through: a write column is eligible as soon as its W
+                # beat has arrived (no store-and-forward of whole bursts).
+                if txn.cols_enqueued >= len(txn.wbeats):
+                    break
+                if txn.cols_enqueued == 0 and not self._may_start(
+                    self._id_write_pipe, axi_id, txn
+                ):
+                    break
+                addr = txn.addr + txn.cols_enqueued * beat_bytes
+                bank, row, _col = self.timing.decompose(addr)
+                self._sched.append(
+                    _ColReq(txn, txn.cols_enqueued, addr, bank, row, True, cycle)
+                )
+                txn.cols_enqueued += 1
+                budget -= 1
+                if txn.cols_enqueued >= txn.length:
+                    q.popleft()
+                    break
+
+    def _may_start(self, pipes: Dict[int, Deque[object]], axi_id: int, txn: object) -> bool:
+        """A transaction enters the DRAM pipeline only when it is among the
+        first ``per_id_txn_limit`` unretired same-ID, same-direction
+        transactions (the controller's in-order processing window)."""
+        pipeline = pipes.get(axi_id)
+        if pipeline is None:
+            return True
+        limit = self.timing.per_id_txn_limit
+        for i, entry in enumerate(pipeline):
+            if i >= limit:
+                return False
+            if entry is txn:
+                return True
+        return True  # not tracked (should not happen) — fail open
+
+    def _retire(self, pipes: Dict[int, Deque[object]], axi_id: int, txn: object) -> None:
+        pipeline = pipes.get(axi_id)
+        if pipeline is not None:
+            try:
+                pipeline.remove(txn)
+            except ValueError:
+                pass
+
+    def _prep_banks(self, cycle: int) -> None:
+        """Open rows for pending column commands (oldest-first per bank)."""
+        preps = 2  # activate/precharge command bandwidth per cycle
+        seen_banks = set()
+        for req in self._sched:
+            if preps == 0:
+                break
+            if req.bank in seen_banks:
+                continue
+            seen_banks.add(req.bank)
+            bank = self.banks[req.bank]
+            if bank.open_row != req.row and bank.can_prep(cycle):
+                bank.prep(req.row, cycle)
+                bank.record_access(False)
+                self.stats["row_misses"] += 1
+                preps -= 1
+
+    def _issue_column(self, cycle: int) -> None:
+        if cycle < self._bus_free_at or not self._sched:
+            return
+        ready = [
+            (i, r)
+            for i, r in enumerate(self._sched)
+            if self.banks[r.bank].row_open(r.row, cycle)
+        ]
+        if not ready:
+            return
+        same_dir = [(i, r) for i, r in ready if r.is_write == self._bus_dir_write]
+        if same_dir and self._dir_streak < self.timing.direction_streak:
+            idx, req = same_dir[0]
+        else:
+            idx, req = ready[0]
+        turnaround = req.is_write != self._bus_dir_write
+        if turnaround:
+            self._bus_dir_write = req.is_write
+            self._dir_streak = 0
+            self.stats["turnarounds"] += 1
+        self._dir_streak += 1
+        self._bus_free_at = cycle + 1 + (self.timing.t_bus_turn if turnaround else 0)
+        self.stats["bus_cycles"] += 1
+        del self._sched[idx]
+        self.banks[req.bank].record_access(True)
+        self.stats["row_hits"] += 1
+        if req.is_write:
+            txn: _WriteTxn = req.txn
+            beat = txn.wbeats[req.beat_idx]
+            self.store.write(req.addr, beat.data, beat.strb)
+            txn.cols_done += 1
+            self.stats["write_cols"] += 1
+        else:
+            rtxn: _ReadTxn = req.txn
+            data = self.store.read(req.addr, self.timing.col_bytes)
+            rtxn.beats[req.beat_idx] = (cycle + self.timing.t_cl, data)
+            rtxn.cols_done += 1
+            self.stats["read_cols"] += 1
+
+    def _return_read_data(self, cycle: int) -> None:
+        if not self.port.r.can_push():
+            return
+        for axi_id in self._rr_ids():
+            q = self._id_read_return.get(axi_id)
+            if not q:
+                continue
+            txn = q[0]
+            entry = txn.beats[txn.beats_sent]
+            if entry is None or entry[0] > cycle:
+                continue
+            last = txn.beats_sent == txn.length - 1
+            self.mport.push_r(
+                cycle, RBeat(axi_id=axi_id, data=entry[1], last=last, tag=txn.tag)
+            )
+            txn.beats_sent += 1
+            if last:
+                q.popleft()
+                del self._read_txns[txn.tag]
+                # Pipeline slot frees once the data has left the controller.
+                self._retire(self._id_read_pipe, axi_id, txn)
+            self._return_rr_pos += 1
+            return
+
+    def _return_write_responses(self, cycle: int) -> None:
+        if not self.port.b.can_push():
+            return
+        for axi_id in self._rr_ids():
+            q = self._id_write_return.get(axi_id)
+            if not q:
+                continue
+            txn = q[0]
+            if txn.cols_done < txn.length:
+                continue
+            self.mport.push_b(cycle, BResp(axi_id=axi_id, okay=True, tag=txn.tag))
+            q.popleft()
+            del self._write_txns[txn.tag]
+            self._retire(self._id_write_pipe, axi_id, txn)
+            return
+
+    # ------------------------------------------------------------------ analysis
+    def idle(self) -> bool:
+        return (
+            not self._read_txns
+            and not self._write_txns
+            and not self._sched
+            and not len(self.port.ar)
+            and not len(self.port.aw)
+            and not len(self.port.w)
+        )
+
+    def bus_utilisation(self, cycles: int) -> float:
+        return self.stats["bus_cycles"] / max(cycles, 1)
+
+    def report(self, cycles: int, clock_mhz: float = 250.0) -> Dict[str, float]:
+        """DRAMsim3-style channel summary over ``cycles`` of simulation."""
+        beat = self.timing.col_bytes
+        seconds = cycles / (clock_mhz * 1e6) if cycles else 1.0
+        total_accesses = self.stats["read_cols"] + self.stats["write_cols"]
+        activations = sum(b.activations for b in self.banks)
+        return {
+            "read_bytes": self.stats["read_cols"] * beat,
+            "write_bytes": self.stats["write_cols"] * beat,
+            "bandwidth_gbps": total_accesses * beat / seconds / 1e9,
+            "bus_utilisation": self.bus_utilisation(cycles),
+            "row_hit_rate": (
+                1.0 - activations / total_accesses if total_accesses else 0.0
+            ),
+            "activations": float(activations),
+            "turnarounds": float(self.stats["turnarounds"]),
+            "refresh_overhead": self.stats["refreshes"]
+            * self.timing.t_rfc
+            / max(cycles, 1),
+        }

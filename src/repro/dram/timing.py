@@ -1,0 +1,81 @@
+"""DDR timing parameter sets, expressed in *controller* clock cycles.
+
+The paper's FPGA results run the accelerator and the Xilinx DDR4 controller at
+250 MHz (4 ns per cycle) with a 512-bit (64-byte) user data path, which is the
+configuration of the AWS F1 shell.  We model the DRAM at that controller clock:
+one column access moves one 64-byte beat.  Timing values are DDR4-2400-ish
+figures rounded to 4 ns controller cycles, the same granularity DRAMsim3
+results get re-sampled to when integrating with a 250 MHz user design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Geometry and timing of one memory channel at the controller clock."""
+
+    # Geometry
+    n_banks: int = 16
+    row_bytes: int = 2048  # open-row span per bank
+    col_bytes: int = 64  # one column burst = one AXI beat
+
+    # Timing (controller cycles, 4 ns each)
+    t_rcd: int = 4  # activate -> column command
+    t_rp: int = 4  # precharge
+    t_cl: int = 4  # column read -> data
+    t_ras: int = 9  # activate -> precharge
+    t_bus_turn: int = 3  # read<->write data bus turnaround
+    t_refi: int = 1950  # refresh interval (7.8 us)
+    t_rfc: int = 88  # refresh cycle time (350 ns)
+
+    # Controller structure
+    sched_queue_depth: int = 48  # column-command scheduler window
+    max_outstanding_txns: int = 64
+    direction_streak: int = 64  # max consecutive same-direction columns
+    # Per-ID, per-direction in-order processing window: at most this many
+    # same-ID transactions of one direction may be in the DRAM pipeline at
+    # once (in-order return forces the controller to buffer same-ID
+    # responses; the buffer is finite).  This is the mechanism that punishes
+    # single-ID masters with short bursts (Section III-A).
+    per_id_txn_limit: int = 1
+
+    @property
+    def cols_per_row(self) -> int:
+        return self.row_bytes // self.col_bytes
+
+    def decompose(self, addr: int) -> tuple[int, int, int]:
+        """Map a byte address to (bank, row, column).
+
+        Low-order interleave: consecutive rows of the address space rotate
+        across banks, so a long sequential stream opens a row, streams all its
+        columns, then moves to the *next bank* — giving streams natural
+        bank-level parallelism, the behaviour DDR controllers' default address
+        maps are chosen for.
+        """
+        block = addr // self.col_bytes
+        col = block % self.cols_per_row
+        row_seq = block // self.cols_per_row
+        bank = row_seq % self.n_banks
+        row = row_seq // self.n_banks
+        return bank, row, col
+
+
+#: The AWS F1 / Alveo U200 single-channel configuration used in the paper.
+DDR4_AWS_F1 = DramTiming()
+
+#: A small, slower LPDDR-ish part for the embedded (Kria) platform model.
+LPDDR4_KRIA = DramTiming(
+    n_banks=8,
+    row_bytes=1024,
+    col_bytes=16,
+    t_rcd=5,
+    t_rp=5,
+    t_cl=5,
+    t_ras=11,
+    t_bus_turn=4,
+    sched_queue_depth=24,
+    max_outstanding_txns=32,
+)

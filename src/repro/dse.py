@@ -1,0 +1,106 @@
+"""Design-space exploration utilities.
+
+The paper's workflow scales a System by editing ``n_cores`` and rebuilding;
+these helpers automate the loop: sweep core counts, find the largest count
+that still passes the place/route feasibility model, and report which
+resource binds — the analysis behind the core-count labels of Figure 6 and
+the "limited by BRAM/LUT overutilisation" observations of Section III-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.build import BeethovenBuild, BuildMode, InfeasibleDesignError
+from repro.platforms.base import Platform
+
+ConfigFactory = Callable[[int], object]
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated core count."""
+
+    n_cores: int
+    feasible: bool
+    worst_util: float
+    reasons: List[str]
+    total_lut: float
+    total_bram: float
+    total_uram: float
+
+
+def evaluate_point(factory: ConfigFactory, n_cores: int, platform: Platform) -> DesignPoint:
+    """Build (simulation mode) and score one core count."""
+    build = BeethovenBuild(factory(n_cores), platform, BuildMode.Simulation)
+    report = build.routability
+    total = build.resource_report.total
+    return DesignPoint(
+        n_cores=n_cores,
+        feasible=report.feasible if report else True,
+        worst_util=report.worst_util if report else 0.0,
+        reasons=list(report.reasons) if report else [],
+        total_lut=total.lut,
+        total_bram=total.bram,
+        total_uram=total.uram,
+    )
+
+
+def sweep_cores(
+    factory: ConfigFactory, counts, platform: Platform
+) -> List[DesignPoint]:
+    return [evaluate_point(factory, n, platform) for n in counts]
+
+
+def limiting_resource(factory: ConfigFactory, n_cores: int, platform: Platform) -> str:
+    """The most over-subscribed resource at ``n_cores`` (raw kind name)."""
+    build = BeethovenBuild(factory(n_cores), platform, BuildMode.Simulation)
+    device = platform.device
+    worst_kind, worst_util = "lut", 0.0
+    placement = build.placement
+    for slr in range(device.n_slrs):
+        free = device.free_capacity(slr)
+        load = placement.slr_load[slr]
+        extra = build.resource_report.interconnect_per_slr.get(slr)
+        if extra is not None:
+            load = load + extra
+        for kind, util in load.utilisation_of(free).items():
+            if util > worst_util:
+                worst_kind, worst_util = kind, util
+    return worst_kind
+
+
+def max_feasible_cores(
+    factory: ConfigFactory,
+    platform: Platform,
+    limit: int = 64,
+) -> Tuple[int, str, Optional[BeethovenBuild]]:
+    """Largest feasible core count, its classified limiter, and the build.
+
+    The limiter is classified the way the paper reports it: logic pressure
+    (CLB/LUT/FF) as "LUT", memory-tile pressure as "BRAM".
+    """
+    best, best_build = 0, None
+    lo, hi = 1, limit
+    n = 1
+    while n <= limit:
+        try:
+            best_build = BeethovenBuild(factory(n), platform, BuildMode.Synthesis)
+            best = n
+            lo = n + 1
+            n *= 2
+        except InfeasibleDesignError:
+            hi = n - 1
+            break
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        try:
+            best_build = BeethovenBuild(factory(mid), platform, BuildMode.Synthesis)
+            best = mid
+            lo = mid + 1
+        except InfeasibleDesignError:
+            hi = mid - 1
+    raw = limiting_resource(factory, best + 1, platform)
+    limiter = "LUT" if raw in ("clb", "lut", "reg") else "BRAM"
+    return best, limiter, best_build

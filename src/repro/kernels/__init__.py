@@ -1,0 +1,5 @@
+"""Accelerator kernels used by the examples, tests and benchmarks."""
+
+from repro.kernels.vecadd import VectorAddCore, vector_add_config
+
+__all__ = ["VectorAddCore", "vector_add_config"]

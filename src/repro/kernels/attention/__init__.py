@@ -1,0 +1,22 @@
+"""A^3 approximate attention accelerator (paper Section III-C)."""
+
+from repro.kernels.attention.a3 import A3Core, a3_config
+from repro.kernels.attention.reference import (
+    BERT_DIM,
+    BERT_KEYS,
+    attention_a3_fixed,
+    attention_error,
+    attention_float,
+    scale_log2e_q,
+)
+
+__all__ = [
+    "A3Core",
+    "a3_config",
+    "BERT_DIM",
+    "BERT_KEYS",
+    "attention_a3_fixed",
+    "attention_error",
+    "attention_float",
+    "scale_log2e_q",
+]

@@ -1,0 +1,85 @@
+"""Attention references: exact float softmax and the fixed-point A^3 model.
+
+``attention_float`` is the ground truth (BERT-style scaled dot-product
+attention).  ``attention_a3_fixed`` is the bit-level model of what the
+accelerator pipeline computes — the hardware core must match it *exactly*,
+and it must match the float reference within the approximation tolerance the
+A^3 paper reports acceptable for BERT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.attention.fixedpoint import (
+    WEIGHT_FRAC_BITS,
+    fixed_weights,
+)
+
+#: BERT-base head geometry used in the paper's case study.
+BERT_DIM = 64
+BERT_KEYS = 320
+
+#: Fixed-point softmax temperature: log2(e) * s^2 / sqrt(d) in Q18, where s
+#: is the int8 quantisation scale (integer scores are true scores / s^2).
+SCALE_FRAC_BITS = 18
+
+
+def scale_log2e_q(dim: int, quant_scale: float) -> int:
+    factor = np.log2(np.e) * (quant_scale**2) / np.sqrt(dim)
+    q = int(round(factor * (1 << SCALE_FRAC_BITS)))
+    if q == 0:
+        raise ValueError("softmax temperature underflows the fixed-point format")
+    return q
+
+
+def attention_float(query: np.ndarray, keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Exact scaled dot-product attention for one query (float32)."""
+    scores = keys.astype(np.float64) @ query.astype(np.float64)
+    scores = scores / np.sqrt(query.shape[0])
+    scores -= scores.max()
+    weights = np.exp(scores)
+    weights /= weights.sum()
+    return (weights @ values.astype(np.float64)).astype(np.float32)
+
+
+def attention_a3_fixed(
+    query_q: np.ndarray,
+    keys_q: np.ndarray,
+    values_q: np.ndarray,
+    quant_scale: float = 0.05,
+) -> np.ndarray:
+    """The A^3 pipeline's arithmetic for one int8 query.
+
+    Stage 1: int8 x int8 dot products into int32 scores.
+    Stage 2: LUT-based exp2 softmax in fixed point (two global reductions).
+    Stage 3: Q1.15-weighted sum of int8 value rows, rounded to int8 range
+             scaled by the value magnitude (we return the int32 accumulator
+             scaled back at int8 resolution x 2^15).
+    """
+    if query_q.dtype != np.int8 or keys_q.dtype != np.int8 or values_q.dtype != np.int8:
+        raise TypeError("A^3 operates on int8 operands")
+    scores = keys_q.astype(np.int32) @ query_q.astype(np.int32)
+    weights = fixed_weights(
+        scores, scale_log2e_q(query_q.shape[0], quant_scale), SCALE_FRAC_BITS
+    )
+    acc = weights @ values_q.astype(np.int64)  # Q1.15-weighted sum
+    out = (acc + (1 << (WEIGHT_FRAC_BITS - 1))) >> WEIGHT_FRAC_BITS
+    return np.clip(out, -128, 127).astype(np.int8)
+
+
+def attention_error(
+    query: np.ndarray, keys: np.ndarray, values: np.ndarray, scale: float
+) -> float:
+    """RMS error of the fixed-point pipeline vs exact attention, in the
+    dequantised domain, normalised by the exact output RMS."""
+    from repro.kernels.attention.fixedpoint import quantize_int8
+
+    q8 = quantize_int8(query, scale)
+    k8 = quantize_int8(keys, scale)
+    v8 = quantize_int8(values, scale)
+    exact = attention_float(query, keys, values)
+    approx = attention_a3_fixed(q8, k8, v8, scale).astype(np.float32) * scale
+    rms = float(np.sqrt(np.mean((exact - approx) ** 2)))
+    denom = float(np.sqrt(np.mean(exact**2))) or 1.0
+    return rms / denom

@@ -1,0 +1,27 @@
+"""MachSuite benchmark kernels (paper Section III-B, Table I)."""
+
+from repro.kernels.machsuite.gemm import GemmCore, gemm_config
+from repro.kernels.machsuite.mdknn import MdKnnCore, mdknn_config
+from repro.kernels.machsuite.nw import NwCore, nw_config
+from repro.kernels.machsuite.phased import KernelPlan, PhasedKernelCore
+from repro.kernels.machsuite.stencil import (
+    Stencil2dCore,
+    Stencil3dCore,
+    stencil2d_config,
+    stencil3d_config,
+)
+
+__all__ = [
+    "GemmCore",
+    "gemm_config",
+    "NwCore",
+    "nw_config",
+    "Stencil2dCore",
+    "Stencil3dCore",
+    "stencil2d_config",
+    "stencil3d_config",
+    "MdKnnCore",
+    "mdknn_config",
+    "KernelPlan",
+    "PhasedKernelCore",
+]

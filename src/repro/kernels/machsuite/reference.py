@@ -1,0 +1,123 @@
+"""Software reference implementations of the MachSuite kernels (Table I).
+
+These define functional correctness for the accelerator cores: every
+simulated run is checked against them.  Data types follow the reproduction's
+convention of exact integer arithmetic (int32 with wraparound) for the dense
+kernels and float32 for MD-KNN, so hardware/software comparisons are
+bit-exact or tolerance-bounded respectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Needleman-Wunsch scoring (MachSuite's constants).
+NW_MATCH = 1
+NW_MISMATCH = -1
+NW_GAP = -1
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense N x N matrix multiply with int32 wraparound semantics."""
+    if a.dtype != np.int32 or b.dtype != np.int32:
+        raise TypeError("gemm reference expects int32 operands")
+    with np.errstate(over="ignore"):
+        return (a.astype(np.int64) @ b.astype(np.int64)).astype(np.int32)
+
+
+def nw_score_matrix(seq_a: bytes, seq_b: bytes) -> np.ndarray:
+    """Needleman-Wunsch dynamic-programming matrix (scores only)."""
+    n, m = len(seq_a), len(seq_b)
+    score = np.zeros((n + 1, m + 1), dtype=np.int32)
+    score[:, 0] = np.arange(n + 1) * NW_GAP
+    score[0, :] = np.arange(m + 1) * NW_GAP
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            match = NW_MATCH if seq_a[i - 1] == seq_b[j - 1] else NW_MISMATCH
+            score[i, j] = max(
+                score[i - 1, j - 1] + match,
+                score[i - 1, j] + NW_GAP,
+                score[i, j - 1] + NW_GAP,
+            )
+    return score
+
+
+def nw(seq_a: bytes, seq_b: bytes):
+    """Alignment score and traceback-aligned sequences ('-' = gap)."""
+    score = nw_score_matrix(seq_a, seq_b)
+    i, j = len(seq_a), len(seq_b)
+    out_a, out_b = bytearray(), bytearray()
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            match = NW_MATCH if seq_a[i - 1] == seq_b[j - 1] else NW_MISMATCH
+            if score[i, j] == score[i - 1, j - 1] + match:
+                out_a.append(seq_a[i - 1])
+                out_b.append(seq_b[j - 1])
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and score[i, j] == score[i - 1, j] + NW_GAP:
+            out_a.append(seq_a[i - 1])
+            out_b.append(ord("-"))
+            i -= 1
+        else:
+            out_a.append(ord("-"))
+            out_b.append(seq_b[j - 1])
+            j -= 1
+    return int(score[-1, -1]), bytes(reversed(out_a)), bytes(reversed(out_b))
+
+
+def stencil2d(grid: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+    """3x3 stencil over an N x N int32 grid; borders pass through."""
+    if grid.dtype != np.int32 or coeffs.shape != (3, 3):
+        raise TypeError("stencil2d expects int32 grid and 3x3 coefficients")
+    out = grid.copy()
+    acc = np.zeros((grid.shape[0] - 2, grid.shape[1] - 2), dtype=np.int64)
+    for di in range(3):
+        for dj in range(3):
+            acc += (
+                coeffs[di, dj].astype(np.int64)
+                * grid[di : di + acc.shape[0], dj : dj + acc.shape[1]].astype(np.int64)
+            )
+    out[1:-1, 1:-1] = acc.astype(np.int32)
+    return out
+
+
+def stencil3d(grid: np.ndarray, c0: int, c1: int) -> np.ndarray:
+    """7-point 3D stencil over an N^3 int32 grid; borders pass through."""
+    if grid.dtype != np.int32:
+        raise TypeError("stencil3d expects an int32 grid")
+    out = grid.copy()
+    core = grid[1:-1, 1:-1, 1:-1].astype(np.int64)
+    neigh = (
+        grid[:-2, 1:-1, 1:-1].astype(np.int64)
+        + grid[2:, 1:-1, 1:-1].astype(np.int64)
+        + grid[1:-1, :-2, 1:-1].astype(np.int64)
+        + grid[1:-1, 2:, 1:-1].astype(np.int64)
+        + grid[1:-1, 1:-1, :-2].astype(np.int64)
+        + grid[1:-1, 1:-1, 2:].astype(np.int64)
+    )
+    out[1:-1, 1:-1, 1:-1] = (c0 * core + c1 * neigh).astype(np.int32)
+    return out
+
+
+def md_knn(positions: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
+    """Lennard-Jones force accumulation over a k-nearest-neighbour list.
+
+    ``positions``: (n_atoms, 3) float32; ``neighbors``: (n_atoms, k) int32.
+    Returns (n_atoms, 3) float32 forces — MachSuite's md/knn kernel.
+    """
+    if positions.dtype != np.float32:
+        raise TypeError("md_knn expects float32 positions")
+    n, k = neighbors.shape
+    forces = np.zeros((n, 3), dtype=np.float64)
+    pos = positions.astype(np.float64)
+    for i in range(n):
+        delta = pos[i] - pos[neighbors[i]]
+        r2 = (delta * delta).sum(axis=1)
+        r2 = np.maximum(r2, 1e-12)
+        r2inv = 1.0 / r2
+        r6inv = r2inv * r2inv * r2inv
+        potential = r6inv * (1.5 * r6inv - 2.0)
+        forces[i] = ((r2inv * potential)[:, None] * delta).sum(axis=0)
+    return forces.astype(np.float32)

@@ -1,0 +1,20 @@
+"""Beethoven memory primitives: Readers, Writers, Scratchpads."""
+
+from repro.memory.reader import Reader, ReaderTuning
+from repro.memory.scratchpad import Memory, Scratchpad, ScratchpadPort, SpReq
+from repro.memory.types import ReadRequest, WriteRequest, split_into_bursts
+from repro.memory.writer import Writer, WriterTuning
+
+__all__ = [
+    "Reader",
+    "ReaderTuning",
+    "Writer",
+    "WriterTuning",
+    "Memory",
+    "Scratchpad",
+    "ScratchpadPort",
+    "SpReq",
+    "ReadRequest",
+    "WriteRequest",
+    "split_into_bursts",
+]

@@ -1,0 +1,174 @@
+"""The Beethoven ``Reader`` primitive.
+
+A Reader streams a contiguous memory region to the core at a configurable
+data-port width.  Internally it maximises throughput by *prefetching*:
+splitting the logical transfer into several AXI bursts, keeping many of them
+in flight at once, and (with transaction-level parallelism enabled) spreading
+them over multiple AXI IDs so the memory controller may service them out of
+order.  Prefetched data lands in an on-chip buffer whose size bounds how far
+ahead the Reader runs — exactly the resource/parallelism trade-off the paper
+describes ("Readers use on-chip memory to store prefetched data internally").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.axi.types import ARReq, AxiParams, AxiPort
+from repro.memory.types import ReadRequest, split_into_bursts
+from repro.noc.axi_node import bits_for
+from repro.sim import ChannelQueue, Component
+
+
+@dataclass
+class ReaderTuning:
+    """Platform-tunable Reader internals (paper: 'Reader/Writer internal
+    performance knobs').  ``n_axi_ids = 1`` disables TLP."""
+
+    max_txn_beats: int = 64
+    n_axi_ids: int = 4
+    max_in_flight: int = 4
+    buffer_bytes: int = 4 * 4096
+    ar_issue_gap: int = 1  # min cycles between AR issues (request FSM cost)
+
+    @property
+    def id_bits(self) -> int:
+        return bits_for(self.n_axi_ids)
+
+
+@dataclass
+class _SubTxn:
+    addr: int
+    beats: int
+    payload_bytes: int  # bytes of this burst the user actually wants
+    axi_id: int = 0
+    tag: int = -1
+    received: bytearray = field(default_factory=bytearray)
+    delivered: int = 0
+
+
+class Reader(Component):
+    """Streams memory to the core; the core pops ``data`` in program order."""
+
+    def __init__(
+        self,
+        name: str,
+        data_bytes: int,
+        axi_params: AxiParams,
+        tuning: Optional[ReaderTuning] = None,
+    ) -> None:
+        super().__init__(f"reader.{name}")
+        self.data_bytes = data_bytes
+        self.tuning = tuning or ReaderTuning()
+        beat = axi_params.beat_bytes
+        if data_bytes < 1 or data_bytes > beat or beat % data_bytes:
+            raise ValueError(
+                f"reader port width {data_bytes} must divide the bus width {beat}"
+            )
+        self.port = AxiPort(
+            AxiParams(
+                beat,
+                max(self.tuning.id_bits, 1),
+                axi_params.addr_bits,
+                axi_params.max_burst_beats,
+            ),
+            f"{self.name}.axi",
+        )
+        self.request: ChannelQueue[ReadRequest] = ChannelQueue(2, f"{self.name}.req")
+        self.data: ChannelQueue[bytes] = ChannelQueue(2, f"{self.name}.data")
+
+        self._pending: Deque[_SubTxn] = deque()  # not yet issued
+        self._order: Deque[_SubTxn] = deque()  # issued or pending, delivery order
+        self._by_tag: Dict[int, _SubTxn] = {}
+        self._in_flight = 0
+        self._reserved_bytes = 0
+        self._next_id = 0
+        self._next_ar_cycle = 0
+        self.bytes_delivered = 0
+
+    # -- elaboration hooks ---------------------------------------------------
+    def channels(self):
+        return [self.request, self.data] + self.port.channels()
+
+    # -- behaviour ------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._accept_request()
+        self._issue_ar(cycle)
+        self._collect_beats()
+        self._deliver()
+
+    def _accept_request(self) -> None:
+        if not self.request.can_pop():
+            return
+        # Only buffer one logical request's segments at a time beyond what is
+        # in flight, to bound bookkeeping.
+        if len(self._pending) > 2 * self.tuning.max_in_flight:
+            return
+        req = self.request.pop()
+        beat = self.port.params.beat_bytes
+        for addr, beats, payload in split_into_bursts(
+            req.addr, req.len_bytes, beat, self.tuning.max_txn_beats
+        ):
+            sub = _SubTxn(addr, beats, payload)
+            self._pending.append(sub)
+            self._order.append(sub)
+
+    def _issue_ar(self, cycle: int) -> None:
+        if not self._pending or cycle < self._next_ar_cycle:
+            return
+        if self._in_flight >= self.tuning.max_in_flight:
+            return
+        sub = self._pending[0]
+        burst_bytes = sub.beats * self.port.params.beat_bytes
+        if self._reserved_bytes + burst_bytes > self.tuning.buffer_bytes:
+            return
+        if not self.port.ar.can_push():
+            return
+        sub.axi_id = self._next_id
+        self._next_id = (self._next_id + 1) % max(self.tuning.n_axi_ids, 1)
+        req = ARReq(axi_id=sub.axi_id, addr=sub.addr, length=sub.beats)
+        sub.tag = req.tag
+        self.port.ar.push(req)
+        self._by_tag[req.tag] = sub
+        self._pending.popleft()
+        self._in_flight += 1
+        self._reserved_bytes += burst_bytes
+        self._next_ar_cycle = cycle + self.tuning.ar_issue_gap
+
+    def _collect_beats(self) -> None:
+        if not self.port.r.can_pop():
+            return
+        beat = self.port.r.pop()
+        sub = self._by_tag.get(beat.tag)
+        if sub is None:
+            raise RuntimeError(f"{self.name}: R beat with unknown tag")
+        sub.received.extend(beat.data)
+        if beat.last:
+            self._in_flight -= 1
+            del self._by_tag[beat.tag]
+
+    def _deliver(self) -> None:
+        if not self._order or not self.data.can_push():
+            return
+        sub = self._order[0]
+        end = sub.delivered + self.data_bytes
+        if end > sub.payload_bytes:
+            # Partial tail chunk: only deliver once all payload bytes arrived.
+            if len(sub.received) >= sub.payload_bytes and sub.delivered < sub.payload_bytes:
+                chunk = bytes(sub.received[sub.delivered : sub.payload_bytes])
+                self.data.push(chunk)
+                self.bytes_delivered += len(chunk)
+                sub.delivered = sub.payload_bytes
+        elif len(sub.received) >= end:
+            self.data.push(bytes(sub.received[sub.delivered : end]))
+            sub.delivered = end
+            self.bytes_delivered += self.data_bytes
+        if sub.delivered >= sub.payload_bytes:
+            self._order.popleft()
+            self._reserved_bytes -= sub.beats * self.port.params.beat_bytes
+
+    # -- status ------------------------------------------------------------
+    def idle(self) -> bool:
+        return not self._pending and not self._order and not len(self.request)

@@ -1,0 +1,47 @@
+"""User-facing request types for the memory primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One logical read stream request: ``len_bytes`` from ``addr``."""
+
+    addr: int
+    len_bytes: int
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One logical write stream request: ``len_bytes`` to ``addr``."""
+
+    addr: int
+    len_bytes: int
+
+
+def split_into_bursts(
+    addr: int, len_bytes: int, beat_bytes: int, max_beats: int
+) -> list:
+    """Split a transfer into AXI-legal (addr, beats, bytes) bursts.
+
+    Bursts never cross 4 KB boundaries and never exceed ``max_beats``.  The
+    final burst may cover a partial beat (the caller masks the tail).
+    """
+    if addr % beat_bytes:
+        raise ValueError(f"address {addr:#x} not aligned to beat size {beat_bytes}")
+    if len_bytes <= 0:
+        raise ValueError("transfer length must be positive")
+    segments = []
+    pos = addr
+    remaining = len_bytes
+    while remaining > 0:
+        to_4k = 4096 - (pos % 4096)
+        max_bytes = min(max_beats * beat_bytes, to_4k)
+        chunk = min(remaining, max_bytes)
+        beats = -(-chunk // beat_bytes)  # ceil division
+        segments.append((pos, beats, chunk))
+        pos += chunk
+        remaining -= chunk
+    return segments

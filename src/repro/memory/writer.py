@@ -1,0 +1,218 @@
+"""The Beethoven ``Writer`` primitive.
+
+The core pushes fixed-width data chunks; the Writer packs them into beats,
+cuts the logical transfer into AXI bursts, and streams them out — across
+several AXI IDs when transaction-level parallelism is enabled, so write
+bursts may complete out of order at the controller ("writes finished early",
+as the paper observes for the Beethoven memcpy).  A ``done`` token is emitted
+when every burst of a request has its write response.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.axi.types import AWReq, AxiParams, AxiPort, WBeat
+from repro.memory.types import WriteRequest, split_into_bursts
+from repro.noc.axi_node import bits_for
+from repro.sim import ChannelQueue, Component
+
+
+@dataclass
+class WriterTuning:
+    """Platform-tunable Writer internals; ``n_axi_ids = 1`` disables TLP."""
+
+    max_txn_beats: int = 64
+    n_axi_ids: int = 4
+    max_in_flight: int = 4
+    buffer_bytes: int = 4 * 4096
+    aw_issue_gap: int = 1
+
+    @property
+    def id_bits(self) -> int:
+        return bits_for(self.n_axi_ids)
+
+
+@dataclass
+class _WrSubTxn:
+    addr: int
+    beats: int
+    payload_bytes: int
+    axi_id: int = 0
+    tag: int = -1
+    queued: bool = False  # payload carved off and waiting for / past AW
+    issued: bool = False
+    beats_sent: int = 0
+    done: bool = False
+
+
+@dataclass
+class _ActiveRequest:
+    req: WriteRequest
+    subs: list = field(default_factory=list)
+    buffered: int = 0  # payload bytes received from the core
+
+    def all_done(self) -> bool:
+        return all(s.done for s in self.subs)
+
+
+class Writer(Component):
+    """Streams core data to memory; pops ``done`` when the request landed."""
+
+    def __init__(
+        self,
+        name: str,
+        data_bytes: int,
+        axi_params: AxiParams,
+        tuning: Optional[WriterTuning] = None,
+    ) -> None:
+        super().__init__(f"writer.{name}")
+        self.data_bytes = data_bytes
+        self.tuning = tuning or WriterTuning()
+        beat = axi_params.beat_bytes
+        if data_bytes < 1 or data_bytes > beat or beat % data_bytes:
+            raise ValueError(
+                f"writer port width {data_bytes} must divide the bus width {beat}"
+            )
+        self.port = AxiPort(
+            AxiParams(
+                beat,
+                max(self.tuning.id_bits, 1),
+                axi_params.addr_bits,
+                axi_params.max_burst_beats,
+            ),
+            f"{self.name}.axi",
+        )
+        self.request: ChannelQueue[WriteRequest] = ChannelQueue(2, f"{self.name}.req")
+        self.data: ChannelQueue[bytes] = ChannelQueue(2, f"{self.name}.data")
+        self.done: ChannelQueue[bool] = ChannelQueue(2, f"{self.name}.done")
+
+        self._requests: Deque[_ActiveRequest] = deque()
+        self._fill_buffer = bytearray()  # staging for the request being fed
+        self._issue_q: Deque[_WrSubTxn] = deque()  # fully-buffered, awaiting AW
+        self._queued_payload: Dict[int, bytes] = {}  # id(sub) -> burst payload
+        self._w_stream: Deque[_WrSubTxn] = deque()  # AW sent, W beats owed
+        self._sub_payload: Dict[int, bytes] = {}  # tag -> burst payload
+        self._by_tag: Dict[int, _WrSubTxn] = {}
+        self._in_flight = 0
+        self._buffered_bytes = 0
+        self._next_id = 0
+        self._next_aw_cycle = 0
+        self.bytes_accepted = 0
+
+    def channels(self):
+        return [self.request, self.data, self.done] + self.port.channels()
+
+    # -- behaviour ----------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._accept_request()
+        self._accept_data()
+        self._issue_aw(cycle)
+        self._stream_w()
+        self._collect_b()
+        self._report_done()
+
+    def _accept_request(self) -> None:
+        if not self.request.can_pop() or len(self._requests) >= 2:
+            return
+        req = self.request.pop()
+        active = _ActiveRequest(req)
+        beat = self.port.params.beat_bytes
+        for addr, beats, payload in split_into_bursts(
+            req.addr, req.len_bytes, beat, self.tuning.max_txn_beats
+        ):
+            active.subs.append(_WrSubTxn(addr, beats, payload))
+        self._requests.append(active)
+
+    def _accept_data(self) -> None:
+        """Take one core chunk per cycle into the staging buffer, then carve
+        fully-buffered bursts off the front (store-and-forward per burst)."""
+        if not self._requests:
+            return
+        active = self._requests[0]
+        total_payload = active.req.len_bytes
+        if (
+            self.data.can_pop()
+            and active.buffered < total_payload
+            and self._buffered_bytes + self.data_bytes <= self.tuning.buffer_bytes
+        ):
+            chunk = self.data.pop()
+            self._fill_buffer.extend(chunk)
+            active.buffered += len(chunk)
+            self._buffered_bytes += len(chunk)
+            self.bytes_accepted += len(chunk)
+        # Release bursts whose payload is fully staged.
+        for sub in active.subs:
+            if sub.queued:
+                continue
+            if len(self._fill_buffer) >= sub.payload_bytes:
+                payload = bytes(self._fill_buffer[: sub.payload_bytes])
+                del self._fill_buffer[: sub.payload_bytes]
+                sub.queued = True
+                self._issue_q.append(sub)
+                self._queued_payload[id(sub)] = payload
+            break  # only the front un-queued burst can complete
+
+    def _issue_aw(self, cycle: int) -> None:
+        if not self._issue_q or cycle < self._next_aw_cycle:
+            return
+        if self._in_flight >= self.tuning.max_in_flight:
+            return
+        if not self.port.aw.can_push():
+            return
+        sub = self._issue_q.popleft()
+        sub.axi_id = self._next_id
+        self._next_id = (self._next_id + 1) % max(self.tuning.n_axi_ids, 1)
+        req = AWReq(axi_id=sub.axi_id, addr=sub.addr, length=sub.beats)
+        sub.tag = req.tag
+        sub.issued = True
+        payload = self._queued_payload.pop(id(sub))
+        self._sub_payload[req.tag] = payload
+        self._by_tag[req.tag] = sub
+        self.port.aw.push(req)
+        self._w_stream.append(sub)
+        self._in_flight += 1
+        self._next_aw_cycle = cycle + self.tuning.aw_issue_gap
+
+    def _stream_w(self) -> None:
+        if not self._w_stream or not self.port.w.can_push():
+            return
+        sub = self._w_stream[0]
+        payload = self._sub_payload[sub.tag]
+        beat_bytes = self.port.params.beat_bytes
+        start = sub.beats_sent * beat_bytes
+        chunk = payload[start : start + beat_bytes]
+        strb = None
+        if len(chunk) < beat_bytes:
+            strb = b"\x01" * len(chunk) + b"\x00" * (beat_bytes - len(chunk))
+            chunk = chunk + bytes(beat_bytes - len(chunk))
+        last = sub.beats_sent == sub.beats - 1
+        self.port.w.push(WBeat(chunk, last=last, strb=strb))
+        sub.beats_sent += 1
+        if last:
+            self._w_stream.popleft()
+
+    def _collect_b(self) -> None:
+        if not self.port.b.can_pop():
+            return
+        resp = self.port.b.pop()
+        sub = self._by_tag.pop(resp.tag, None)
+        if sub is None:
+            raise RuntimeError(f"{self.name}: B resp with unknown tag")
+        sub.done = True
+        self._in_flight -= 1
+        self._buffered_bytes -= sub.payload_bytes
+        del self._sub_payload[resp.tag]
+
+    def _report_done(self) -> None:
+        if not self._requests or not self.done.can_push():
+            return
+        active = self._requests[0]
+        if active.buffered >= active.req.len_bytes and active.all_done():
+            self.done.push(True)
+            self._requests.popleft()
+
+    def idle(self) -> bool:
+        return not self._requests and not self._issue_q and not self._w_stream

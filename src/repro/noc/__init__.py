@@ -1,0 +1,18 @@
+"""Generated on-chip networks: buffer trees, SLR bridges, ID compression."""
+
+from repro.noc.axi_node import AxiBufferNode, AxiPipe, bits_for
+from repro.noc.idmap import IdCompressor
+from repro.noc.links import PlainAxiLink, as_link
+from repro.noc.tree import BuiltNetwork, TreeBuilder, TreeConfig
+
+__all__ = [
+    "AxiBufferNode",
+    "AxiPipe",
+    "IdCompressor",
+    "PlainAxiLink",
+    "as_link",
+    "bits_for",
+    "BuiltNetwork",
+    "TreeBuilder",
+    "TreeConfig",
+]

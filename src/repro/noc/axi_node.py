@@ -1,0 +1,203 @@
+"""AXI interconnect nodes: arbitration/buffer nodes and pipeline stages.
+
+Beethoven's generated memory network is a tree whose internal nodes are
+buffers (Section II-B, Multi-Die Designs).  :class:`AxiBufferNode` is one such
+node: it multiplexes N upstream masters onto one downstream port with
+round-robin arbitration and ID remapping (upstream index bits are appended
+above the master's own ID bits, the standard crossbar technique), and routes
+responses back by stripping those bits.  :class:`AxiPipe` is a fixed-latency
+register slice used for expensive links such as SLR crossings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.axi.types import ARReq, AWReq, AxiPort, BResp, RBeat
+from repro.noc.links import as_link
+from repro.sim import Component, SimulationError
+
+
+def bits_for(n: int) -> int:
+    """Bits needed to number ``n`` distinct upstreams (0 for a single one)."""
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+class AxiBufferNode(Component):
+    """N-to-1 AXI mux with per-channel round-robin arbitration.
+
+    ``child_id_bits`` is the ID width upstream masters use; remapped IDs are
+    ``(upstream_index << child_id_bits) | upstream_id``.  The downstream port's
+    parameterisation must have room for the extra bits — the elaborator checks
+    this when it sizes the tree.
+    """
+
+    def __init__(
+        self,
+        upstreams: List[AxiPort],
+        downstream,
+        child_id_bits: int,
+        name: str = "axinode",
+    ) -> None:
+        super().__init__(name)
+        if not upstreams:
+            raise ValueError("buffer node needs at least one upstream")
+        self.upstreams = upstreams
+        self.down = as_link(downstream)
+        self.child_id_bits = child_id_bits
+        self.index_bits = bits_for(len(upstreams))
+        total = child_id_bits + self.index_bits
+        if total > self.down.port.params.id_bits:
+            raise SimulationError(
+                f"{name}: needs {total} ID bits downstream, "
+                f"only {self.down.port.params.id_bits} available"
+            )
+        self._ar_rr = 0
+        self._aw_rr = 0
+        # (upstream_index, beats_remaining) in downstream AW order: AXI4 write
+        # data may not interleave, so W is locked to this order.
+        self._w_order: Deque[Tuple[int, int]] = deque()
+        # Per-upstream count of outstanding W bursts already granted, so we
+        # never forward an AW whose W data could deadlock the lock queue.
+        self.forwarded = {"ar": 0, "aw": 0, "w": 0, "r": 0, "b": 0}
+
+    # -- ID remapping -------------------------------------------------------
+    def _remap(self, up_idx: int, axi_id: int) -> int:
+        return (up_idx << self.child_id_bits) | axi_id
+
+    def _unmap(self, axi_id: int) -> Tuple[int, int]:
+        return axi_id >> self.child_id_bits, axi_id & ((1 << self.child_id_bits) - 1)
+
+    # -- tick ---------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self._forward_ar(cycle)
+        self._forward_aw(cycle)
+        self._forward_w(cycle)
+        self._route_r(cycle)
+        self._route_b(cycle)
+
+    def _forward_ar(self, cycle: int) -> None:
+        if not self.down.port.ar.can_push():
+            return
+        n = len(self.upstreams)
+        for k in range(n):
+            idx = (self._ar_rr + k) % n
+            up = self.upstreams[idx]
+            if up.ar.can_pop():
+                req = up.ar.pop()
+                self.down.push_ar(
+                    cycle,
+                    ARReq(self._remap(idx, req.axi_id), req.addr, req.length, req.tag),
+                )
+                self._ar_rr = (idx + 1) % n
+                self.forwarded["ar"] += 1
+                return
+
+    def _forward_aw(self, cycle: int) -> None:
+        if not self.down.port.aw.can_push():
+            return
+        n = len(self.upstreams)
+        for k in range(n):
+            idx = (self._aw_rr + k) % n
+            up = self.upstreams[idx]
+            if up.aw.can_pop():
+                req = up.aw.pop()
+                self.down.push_aw(
+                    cycle,
+                    AWReq(self._remap(idx, req.axi_id), req.addr, req.length, req.tag),
+                )
+                self._w_order.append((idx, req.length))
+                self._aw_rr = (idx + 1) % n
+                self.forwarded["aw"] += 1
+                return
+
+    def _forward_w(self, cycle: int) -> None:
+        if not self._w_order or not self.down.port.w.can_push():
+            return
+        idx, remaining = self._w_order[0]
+        up = self.upstreams[idx]
+        if not up.w.can_pop():
+            return
+        beat = up.w.pop()
+        self.down.push_w(cycle, beat)
+        remaining -= 1
+        self.forwarded["w"] += 1
+        if beat.last:
+            if remaining != 0:
+                raise SimulationError(f"{self.name}: W burst length mismatch")
+            self._w_order.popleft()
+        else:
+            self._w_order[0] = (idx, remaining)
+
+    def _route_r(self, cycle: int) -> None:
+        down_r = self.down.port.r
+        if not down_r.can_pop():
+            return
+        beat: RBeat = down_r.peek()
+        idx, local_id = self._unmap(beat.axi_id)
+        if idx >= len(self.upstreams):
+            raise SimulationError(f"{self.name}: R beat for unknown upstream {idx}")
+        up = self.upstreams[idx]
+        if up.r.can_push():
+            down_r.pop()
+            up.r.push(RBeat(local_id, beat.data, beat.last, beat.tag))
+            self.forwarded["r"] += 1
+
+    def _route_b(self, cycle: int) -> None:
+        down_b = self.down.port.b
+        if not down_b.can_pop():
+            return
+        resp: BResp = down_b.peek()
+        idx, local_id = self._unmap(resp.axi_id)
+        if idx >= len(self.upstreams):
+            raise SimulationError(f"{self.name}: B resp for unknown upstream {idx}")
+        up = self.upstreams[idx]
+        if up.b.can_push():
+            down_b.pop()
+            up.b.push(BResp(local_id, resp.okay, resp.tag))
+            self.forwarded["b"] += 1
+
+    def channels(self):
+        return []  # ports are registered by the builder
+
+
+class AxiPipe(Component):
+    """A fixed extra-latency register slice on every AXI channel.
+
+    Models the deep buffering Beethoven inserts on SLR crossings.  Items
+    popped from the upstream port become pushable downstream ``latency``
+    cycles later (on top of the usual one-cycle channel registration).
+    """
+
+    def __init__(self, upstream: AxiPort, downstream, latency: int, name: str = "axipipe") -> None:
+        super().__init__(name)
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.up = upstream
+        self.down = as_link(downstream)
+        self.latency = latency
+        self._delay: dict = {ch: deque() for ch in ("ar", "aw", "w", "r", "b")}
+
+    def tick(self, cycle: int) -> None:
+        self._ingest(cycle, "ar", self.up.ar)
+        self._ingest(cycle, "aw", self.up.aw)
+        self._ingest(cycle, "w", self.up.w)
+        self._ingest(cycle, "r", self.down.port.r)
+        self._ingest(cycle, "b", self.down.port.b)
+        self._drain(cycle, "ar", lambda item: self.down.push_ar(cycle, item), self.down.port.ar)
+        self._drain(cycle, "aw", lambda item: self.down.push_aw(cycle, item), self.down.port.aw)
+        self._drain(cycle, "w", lambda item: self.down.push_w(cycle, item), self.down.port.w)
+        self._drain(cycle, "r", lambda item: self.up.r.push(item), self.up.r)
+        self._drain(cycle, "b", lambda item: self.up.b.push(item), self.up.b)
+
+    def _ingest(self, cycle: int, key: str, chan) -> None:
+        if chan.can_pop():
+            self._delay[key].append((cycle + self.latency, chan.pop()))
+
+    def _drain(self, cycle: int, key: str, push, chan) -> None:
+        q = self._delay[key]
+        if q and q[0][0] <= cycle and chan.can_push():
+            push(q.popleft()[1])

@@ -1,0 +1,70 @@
+"""ID-space compression at the network root.
+
+A composed tree gives every master a unique wide ID, but the external memory
+controller supports a fixed, small ID space (the AWS F1 shell exposes a
+handful of ID bits).  The compressor statically folds wide IDs onto the
+controller's ID space (``wide_id % n_ids``, the scheme AXI SmartConnect-style
+bridges use): transactions sharing a wide ID still share a narrow ID, so the
+AXI per-ID ordering guarantee is preserved end-to-end, while unrelated masters
+that collide on a narrow ID get (correctly) serialised — a real cost of
+limited ID space that the model therefore reproduces.  Responses are routed
+back by transaction tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.axi.types import ARReq, AWReq, AxiPort, BResp, RBeat
+from repro.noc.links import as_link
+from repro.sim import Component, SimulationError
+
+
+class IdCompressor(Component):
+    """Folds a wide upstream ID space onto the controller's narrow one."""
+
+    def __init__(self, upstream: AxiPort, downstream, name: str = "idmap") -> None:
+        super().__init__(name)
+        self.up = upstream
+        self.down = as_link(downstream)
+        self.n_ids = self.down.port.params.n_ids
+        self._read_orig: Dict[int, int] = {}  # tag -> original wide id
+        self._write_orig: Dict[int, int] = {}
+        self.collisions = 0
+        self._narrow_in_use: Dict[int, set] = {}
+
+    def _fold(self, wide_id: int, live: Dict[int, set]) -> int:
+        narrow = wide_id % self.n_ids
+        users = live.setdefault(narrow, set())
+        if users and wide_id not in users:
+            self.collisions += 1
+        users.add(wide_id)
+        return narrow
+
+    def tick(self, cycle: int) -> None:
+        if self.up.ar.can_pop() and self.down.port.ar.can_push():
+            req = self.up.ar.pop()
+            narrow = self._fold(req.axi_id, self._narrow_in_use)
+            self._read_orig[req.tag] = req.axi_id
+            self.down.push_ar(cycle, ARReq(narrow, req.addr, req.length, req.tag))
+        if self.up.aw.can_pop() and self.down.port.aw.can_push():
+            req = self.up.aw.pop()
+            narrow = req.axi_id % self.n_ids
+            self._write_orig[req.tag] = req.axi_id
+            self.down.push_aw(cycle, AWReq(narrow, req.addr, req.length, req.tag))
+        if self.up.w.can_pop() and self.down.port.w.can_push():
+            self.down.push_w(cycle, self.up.w.pop())
+        if self.down.port.r.can_pop() and self.up.r.can_push():
+            beat: RBeat = self.down.port.r.pop()
+            orig = self._read_orig.get(beat.tag)
+            if orig is None:
+                raise SimulationError(f"{self.name}: R beat with unknown tag {beat.tag}")
+            self.up.r.push(RBeat(orig, beat.data, beat.last, beat.tag))
+            if beat.last:
+                del self._read_orig[beat.tag]
+        if self.down.port.b.can_pop() and self.up.b.can_push():
+            resp: BResp = self.down.port.b.pop()
+            orig = self._write_orig.pop(resp.tag, None)
+            if orig is None:
+                raise SimulationError(f"{self.name}: B resp with unknown tag {resp.tag}")
+            self.up.b.push(BResp(orig, resp.okay, resp.tag))

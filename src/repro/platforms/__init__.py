@@ -1,0 +1,24 @@
+"""Supported deployment platforms (paper Section II-D)."""
+
+from repro.platforms.asic_platforms import (
+    Asap7Platform,
+    AsicPlatform,
+    ChipKitPlatform,
+    SimulationPlatform,
+    SynopsysPdkPlatform,
+)
+from repro.platforms.base import HostInterface, Platform, kernel_mode
+from repro.platforms.fpga_platforms import AWSF1Platform, KriaPlatform
+
+__all__ = [
+    "Platform",
+    "HostInterface",
+    "kernel_mode",
+    "AWSF1Platform",
+    "KriaPlatform",
+    "Asap7Platform",
+    "AsicPlatform",
+    "ChipKitPlatform",
+    "SimulationPlatform",
+    "SynopsysPdkPlatform",
+]

@@ -1,0 +1,31 @@
+"""Host runtime: allocators, the runtime server, handles and futures."""
+
+from repro.runtime.allocator import (
+    AllocationError,
+    EmbeddedAllocator,
+    FirstFitAllocator,
+    HUGEPAGE_BYTES,
+    make_allocator,
+)
+from repro.runtime.handle import (
+    ClientHandle,
+    FpgaHandle,
+    RemotePtr,
+    ResponseHandle,
+    bindings_for,
+)
+from repro.runtime.server import RuntimeServer
+
+__all__ = [
+    "ClientHandle",
+    "AllocationError",
+    "EmbeddedAllocator",
+    "FirstFitAllocator",
+    "HUGEPAGE_BYTES",
+    "make_allocator",
+    "FpgaHandle",
+    "RemotePtr",
+    "ResponseHandle",
+    "bindings_for",
+    "RuntimeServer",
+]

@@ -1,0 +1,271 @@
+"""The user-facing runtime library (paper Figure 3c and Section II-C3).
+
+``FpgaHandle`` is the Python analogue of ``fpga_handle_t``: it owns the
+allocator for the accelerator memory space, provides DMA routines between the
+host and device domains, and sends commands through the runtime server.
+Sending a command returns a :class:`ResponseHandle` future whose ``get()``
+advances the simulation until the accelerator responds — the same blocking
+semantics the generated C++ gives on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.command.rocc import RoccInstruction, RoccResponse
+from repro.runtime.allocator import make_allocator
+from repro.runtime.server import RuntimeServer
+
+
+class RemotePtr:
+    """A device-memory allocation with a host-side shadow buffer.
+
+    On discrete platforms the shadow models the host copy of the data and
+    ``copy_to_fpga``/``copy_from_fpga`` move bytes across PCIe; on embedded
+    platforms host and device share memory, so the "shadow" writes through
+    immediately and the copies are coherence no-ops.
+    """
+
+    def __init__(self, handle: "FpgaHandle", fpga_addr: int, size: int) -> None:
+        self._handle = handle
+        self.fpga_addr = fpga_addr
+        self.size = size
+        self._host = bytearray(size)
+
+    def get_host_addr(self) -> bytearray:
+        """Host-side view (paper: ``mem.getHostAddr()``)."""
+        return self._host
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        if offset + len(data) > self.size:
+            raise ValueError("write past end of allocation")
+        self._host[offset : offset + len(data)] = data
+        if not self._handle.discrete:
+            self._handle._store_write(self.fpga_addr + offset, bytes(data))
+
+    def read(self, length: Optional[int] = None, offset: int = 0) -> bytes:
+        length = self.size - offset if length is None else length
+        if not self._handle.discrete:
+            return self._handle._store_read(self.fpga_addr + offset, length)
+        return bytes(self._host[offset : offset + length])
+
+    def offset(self, n: int) -> int:
+        """Device address at byte offset ``n`` (pointer arithmetic)."""
+        if n < 0 or n > self.size:
+            raise ValueError("offset outside allocation")
+        return self.fpga_addr + n
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class ResponseHandle:
+    """Future for one in-flight accelerator command."""
+
+    def __init__(self, handle: "FpgaHandle", response_spec) -> None:
+        self._handle = handle
+        self._spec = response_spec
+        self._response: Optional[RoccResponse] = None
+        self.submitted_cycle = handle.design.sim.cycle
+
+    def _complete(self, resp: RoccResponse) -> None:
+        self._response = resp
+
+    @property
+    def done(self) -> bool:
+        return self._response is not None
+
+    def try_get(self) -> Optional[Dict[str, object]]:
+        """Non-blocking check (paper: ``try_get``)."""
+        if self._response is None:
+            return None
+        return self._decode()
+
+    def get(self, max_cycles: int = 10_000_000) -> Dict[str, object]:
+        """Block (advance simulation) until the response arrives."""
+        self._handle.run_until(lambda: self._response is not None, max_cycles)
+        return self._decode()
+
+    def _decode(self) -> Dict[str, object]:
+        if self._spec is None or not self._spec.fields:
+            return {"ok": True}
+        return self._spec.unpack(self._response.data)
+
+    @property
+    def latency_cycles(self) -> Optional[int]:
+        if self._response is None:
+            return None
+        return self._completed_cycle - self.submitted_cycle
+
+    def _note_completion_cycle(self, cycle: int) -> None:
+        self._completed_cycle = cycle
+
+
+class FpgaHandle:
+    """Open handle to the Beethoven runtime for one elaborated design."""
+
+    def __init__(self, design) -> None:
+        self.design = design
+        platform = design.platform
+        self.discrete = platform.host.discrete
+        self.allocator = make_allocator(
+            self.discrete, platform.memory_base, platform.memory_bytes
+        )
+        self.server = RuntimeServer(design.mmio, platform.host)
+        design.sim.add(self.server)
+        self.dma_cycles_spent = 0
+
+    # ------------------------------------------------------------ memory API
+    def malloc(self, n_bytes: int) -> RemotePtr:
+        addr = self.allocator.malloc(n_bytes)
+        return RemotePtr(self, addr, n_bytes)
+
+    def free(self, ptr: RemotePtr) -> None:
+        self.allocator.free(ptr.fpga_addr)
+
+    def _store_write(self, addr: int, data: bytes) -> None:
+        self.design.controller.store.write(addr, data)
+
+    def _store_read(self, addr: int, length: int) -> bytes:
+        return self.design.controller.store.read(addr, length)
+
+    def copy_to_fpga(self, ptr: RemotePtr) -> None:
+        """DMA host -> device (no-op coherence sync on embedded)."""
+        self._store_write(ptr.fpga_addr, bytes(ptr.get_host_addr()))
+        self._advance_dma(ptr.size)
+
+    def copy_from_fpga(self, ptr: RemotePtr) -> None:
+        """DMA device -> host."""
+        data = self._store_read(ptr.fpga_addr, ptr.size)
+        ptr.get_host_addr()[:] = data
+        self._advance_dma(ptr.size)
+
+    def _advance_dma(self, n_bytes: int) -> None:
+        host = self.design.platform.host
+        if not self.discrete or host.dma_bytes_per_cycle <= 0:
+            return
+        cycles = int(n_bytes / host.dma_bytes_per_cycle) + 1
+        self.dma_cycles_spent += cycles
+        for _ in range(cycles):
+            self.design.sim.step()
+
+    # ------------------------------------------------------------ processes
+    def new_client(self, name: str = "") -> "ClientHandle":
+        """A second process sharing this runtime (paper Section II-C2).
+
+        Clients share the card's allocator state (held host-side, so their
+        allocations never conflict) and are served round-robin by the
+        runtime server's command arbitration.
+        """
+        self._next_client = getattr(self, "_next_client", 0) + 1
+        return ClientHandle(self, self._next_client, name or f"client{self._next_client}")
+
+    # ----------------------------------------------------------- command API
+    def call(
+        self, system_name: str, io_name: str, core_idx: int, _client: int = 0, **fields
+    ) -> ResponseHandle:
+        """Send one custom command; returns a response future."""
+        design = self.design
+        system = next(
+            (s for s in design.systems if s.config.name == system_name), None
+        )
+        if system is None:
+            raise KeyError(f"no system {system_name!r}")
+        if not 0 <= core_idx < len(system.cores):
+            raise IndexError(
+                f"core index {core_idx} out of range for {system_name!r} "
+                f"({len(system.cores)} cores)"
+            )
+        core = system.cores[core_idx]
+        io_index, io = next(
+            (
+                (i, io)
+                for i, io in enumerate(core.ctx.ios)
+                if io.command_spec.name == io_name
+            ),
+            (None, None),
+        )
+        if io is None:
+            raise KeyError(f"no IO {io_name!r} on system {system_name!r}")
+        chunks = io.command_spec.pack(fields, design.platform.addr_bits)
+        handle = ResponseHandle(self, io.response_spec)
+
+        def on_response(resp: RoccResponse) -> None:
+            handle._note_completion_cycle(design.sim.cycle)
+            handle._complete(resp)
+
+        for i, (rs1, rs2) in enumerate(chunks):
+            last = i == len(chunks) - 1
+            inst = RoccInstruction(
+                system_id=system.system_id,
+                core_id=core_idx,
+                funct7=io_index,
+                rs1=rs1,
+                rs2=rs2,
+                xd=last,  # only the completing chunk expects a response
+                rd=1,
+            )
+            self.server.submit(
+                inst, on_response if last else None, design.sim.cycle, client=_client
+            )
+        return handle
+
+    # ------------------------------------------------------------- sim plumbing
+    def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:
+        return self.design.sim.run(max_cycles, until=predicate)
+
+    def run_cycles(self, n: int) -> None:
+        for _ in range(n):
+            self.design.sim.step()
+
+    @property
+    def cycle(self) -> int:
+        return self.design.sim.cycle
+
+
+class ClientHandle:
+    """A process-local view of a shared :class:`FpgaHandle`.
+
+    Allocations go through the shared (host-resident) allocator, so separate
+    clients never receive overlapping device memory; commands are tagged
+    with the client id and arbitrated fairly by the runtime server.
+    """
+
+    def __init__(self, handle: FpgaHandle, client_id: int, name: str) -> None:
+        self._handle = handle
+        self.client_id = client_id
+        self.name = name
+
+    def malloc(self, n_bytes: int) -> RemotePtr:
+        return self._handle.malloc(n_bytes)
+
+    def free(self, ptr: RemotePtr) -> None:
+        self._handle.free(ptr)
+
+    def copy_to_fpga(self, ptr: RemotePtr) -> None:
+        self._handle.copy_to_fpga(ptr)
+
+    def copy_from_fpga(self, ptr: RemotePtr) -> None:
+        self._handle.copy_from_fpga(ptr)
+
+    def call(self, system_name: str, io_name: str, core_idx: int, **fields) -> ResponseHandle:
+        return self._handle.call(
+            system_name, io_name, core_idx, _client=self.client_id, **fields
+        )
+
+
+def bindings_for(handle: FpgaHandle, system_name: str):
+    """Generated-style Python bindings: one callable per IO of the system.
+
+    Mirrors the generated C++: ``b = bindings_for(h, "VectorAdd");
+    resp = b.my_accel(core_idx, addend=…, vec_addr=…, n_eles=…)``.
+    """
+
+    class _Bindings:
+        def __getattr__(self, io_name: str):
+            def call(core_idx: int, **fields) -> ResponseHandle:
+                return handle.call(system_name, io_name, core_idx, **fields)
+
+            return call
+
+    return _Bindings()

@@ -1,0 +1,156 @@
+"""The FPGA management runtime server (paper Section II-C1).
+
+A userspace server arbitrates fair access to the command/response bus: every
+host command acquires the server lock, is serialised through the MMIO
+interface one 32-bit word at a time, and the server polls the MMIO response
+registers while commands are in flight.  All three costs are platform
+parameters, and their serialisation is what produces the ideal-vs-measured
+gap for low-latency kernels in the paper's Figure 6 ("low-latency operations
+have much higher contention for the runtime server lock").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.command.rocc import RoccInstruction, RoccResponse
+from repro.command.router import MmioFrontend
+from repro.platforms.base import HostInterface
+from repro.sim import Component
+
+
+@dataclass
+class PendingCommand:
+    words: List[int]
+    on_response: Optional[Callable[[RoccResponse], None]]
+    key: Tuple[int, int]  # (system_id, core_id)
+    enqueue_cycle: int = 0
+    client: int = 0
+    dispatch_start: Optional[int] = None
+    dispatch_end: Optional[int] = None
+
+
+class RuntimeServer(Component):
+    """Serialises host commands onto the MMIO frontend and polls responses."""
+
+    def __init__(self, mmio: MmioFrontend, host: HostInterface, name: str = "server") -> None:
+        super().__init__(name)
+        self.mmio = mmio
+        self.host = host
+        # Fair arbitration: one command queue per client process, served
+        # round-robin (the "arbitrating fair access to the command-response
+        # bus" of Section II-C1).
+        self._queues: Dict[int, Deque[PendingCommand]] = {}
+        self._client_rr: List[int] = []
+        self._rr_pos = 0
+        self._current: Optional[PendingCommand] = None
+        self._words_left: List[int] = []
+        self._next_word_cycle = 0
+        self._lock_until = 0
+        self._next_poll = 0
+        self._resp_words: List[int] = []
+        self._waiters: Dict[Tuple[int, int], Deque[Callable[[RoccResponse], None]]] = {}
+        # Statistics for the contention analysis.
+        self.commands_sent = 0
+        self.responses_received = 0
+        self.lock_wait_cycles = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------- host API
+    def submit(
+        self,
+        inst: RoccInstruction,
+        on_response: Optional[Callable[[RoccResponse], None]],
+        cycle_hint: int = 0,
+        client: int = 0,
+    ) -> None:
+        cmd = PendingCommand(
+            inst.encode_words(),
+            on_response,
+            (inst.system_id, inst.core_id),
+            cycle_hint,
+            client,
+        )
+        if client not in self._queues:
+            self._queues[client] = deque()
+            self._client_rr.append(client)
+        self._queues[client].append(cmd)
+
+    def _pop_next(self) -> Optional[PendingCommand]:
+        n = len(self._client_rr)
+        for k in range(n):
+            client = self._client_rr[(self._rr_pos + k) % n]
+            queue = self._queues[client]
+            if queue:
+                self._rr_pos = (self._rr_pos + k + 1) % n
+                return queue.popleft()
+        return None
+
+    @property
+    def in_flight(self) -> int:
+        queued = sum(len(q) for q in self._queues.values())
+        return queued + (1 if self._current else 0) + sum(
+            len(q) for q in self._waiters.values()
+        )
+
+    def idle(self) -> bool:
+        return (
+            self._current is None
+            and not any(self._queues.values())
+            and not any(self._waiters.values())
+        )
+
+    # ------------------------------------------------------------ behaviour
+    def tick(self, cycle: int) -> None:
+        self._dispatch(cycle)
+        self._poll(cycle)
+
+    def _dispatch(self, cycle: int) -> None:
+        if self._current is None and cycle >= self._lock_until:
+            self._current = self._pop_next()
+            if self._current is None:
+                return
+            self._current.dispatch_start = cycle
+            self.lock_wait_cycles += max(0, cycle - self._current.enqueue_cycle)
+            self._words_left = list(self._current.words)
+            # Lock acquisition + per-command bookkeeping cost.
+            self._next_word_cycle = cycle + self.host.command_lock_cycles
+        if self._current is not None and cycle >= self._next_word_cycle:
+            if self._words_left and self.mmio.cmd_words.can_push():
+                self.mmio.cmd_words.push(self._words_left.pop(0))
+                self._next_word_cycle = cycle + self.host.mmio_word_cycles
+                self.busy_cycles += self.host.mmio_word_cycles
+            if not self._words_left:
+                cmd = self._current
+                cmd.dispatch_end = cycle
+                if cmd.on_response is not None:
+                    self._waiters.setdefault(cmd.key, deque()).append(cmd.on_response)
+                self.commands_sent += 1
+                self._current = None
+                self._lock_until = cycle + 1
+
+    def _poll(self, cycle: int) -> None:
+        if cycle < self._next_poll:
+            return
+        if not any(self._waiters.values()):
+            return
+        # One poll visit reads as many response words as are ready (a burst
+        # of MMIO reads), then sleeps for the polling interval.
+        progressed = False
+        while self.mmio.resp_words.can_pop():
+            self._resp_words.append(self.mmio.resp_words.pop())
+            progressed = True
+            if len(self._resp_words) == 4:
+                resp = RoccResponse.decode_words(self._resp_words)
+                self._resp_words.clear()
+                key = (resp.system_id, resp.core_id)
+                waiters = self._waiters.get(key)
+                if waiters:
+                    waiters.popleft()(resp)
+                self.responses_received += 1
+        if progressed:
+            self._next_poll = cycle + self.host.mmio_word_cycles
+        else:
+            self._next_poll = cycle + self.host.response_poll_cycles

@@ -1,0 +1,14 @@
+"""Cycle-level simulation kernel used by every Beethoven substrate model."""
+
+from repro.sim.kernel import ChannelQueue, Component, SimulationError, Simulator
+from repro.sim.trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "ChannelQueue",
+    "Component",
+    "SimulationError",
+    "Simulator",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+]

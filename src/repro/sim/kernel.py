@@ -1,0 +1,165 @@
+"""Deterministic cycle-level simulation kernel.
+
+The kernel models synchronous hardware as a set of :class:`Component` objects
+exchanging tokens over registered :class:`ChannelQueue` channels.  Every
+channel behaves like a FIFO whose occupancy is sampled at the start of the
+cycle: pushes performed during a cycle become visible at the next cycle, and
+pops performed during a cycle do not free space until the next cycle.  This
+makes simulation results independent of the order in which components are
+ticked, which is the property that lets us compose large systems without
+worrying about evaluation order (the same property latency-insensitive
+ready/valid design gives real hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal channel usage or a wedged simulation."""
+
+
+class ChannelQueue(Generic[T]):
+    """A registered FIFO channel with start-of-cycle visibility semantics.
+
+    ``can_push``/``push`` are the producer interface and ``can_pop``/``peek``/
+    ``pop`` the consumer interface.  Capacity admission uses the occupancy at
+    the start of the cycle plus anything staged this cycle, so a full queue
+    does not accept a push in the same cycle one of its items is popped.
+    """
+
+    def __init__(self, capacity: int = 2, name: str = "chan") -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: List[T] = []
+        self._staged: List[T] = []
+        self._pop_count = 0
+        # Statistics, useful for NoC link utilisation reporting.
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.occupancy_accum = 0
+        self.cycles_observed = 0
+
+    # -- producer side ----------------------------------------------------
+    def can_push(self, n: int = 1) -> bool:
+        return len(self._items) + len(self._staged) + n <= self.capacity
+
+    def push(self, item: T) -> None:
+        if not self.can_push():
+            raise SimulationError(f"push to full channel {self.name!r}")
+        self._staged.append(item)
+        self.total_pushed += 1
+
+    # -- consumer side -----------------------------------------------------
+    def can_pop(self) -> bool:
+        return self._pop_count < len(self._items)
+
+    def peek(self, offset: int = 0) -> T:
+        idx = self._pop_count + offset
+        if idx >= len(self._items):
+            raise SimulationError(f"peek past end of channel {self.name!r}")
+        return self._items[idx]
+
+    def pop(self) -> T:
+        if not self.can_pop():
+            raise SimulationError(f"pop from empty channel {self.name!r}")
+        item = self._items[self._pop_count]
+        self._pop_count += 1
+        self.total_popped += 1
+        return item
+
+    # -- kernel interface ----------------------------------------------------
+    def commit(self) -> None:
+        """Apply this cycle's pops and pushes; called once per cycle."""
+        self.occupancy_accum += len(self._items)
+        self.cycles_observed += 1
+        if self._pop_count:
+            del self._items[: self._pop_count]
+            self._pop_count = 0
+        if self._staged:
+            self._items.extend(self._staged)
+            self._staged.clear()
+
+    def __len__(self) -> int:
+        """Occupancy visible to consumers this cycle."""
+        return len(self._items) - self._pop_count
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.cycles_observed:
+            return 0.0
+        return self.occupancy_accum / self.cycles_observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChannelQueue({self.name!r}, {len(self._items)}/{self.capacity})"
+
+
+class Component:
+    """Base class for everything that acts on each clock edge."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle; read channel state, stage pushes/pops."""
+        raise NotImplementedError
+
+    def channels(self) -> Iterable[ChannelQueue[Any]]:
+        """Channels owned by this component (auto-registered)."""
+        return [v for v in vars(self).values() if isinstance(v, ChannelQueue)]
+
+
+class Simulator:
+    """Owns the clock; ticks components and commits channels each cycle."""
+
+    def __init__(self, name: str = "sim") -> None:
+        self.name = name
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._channels: List[ChannelQueue[Any]] = []
+        self._channel_ids = set()
+
+    def add(self, component: Component) -> Component:
+        self._components.append(component)
+        for chan in component.channels():
+            self.register_channel(chan)
+        return component
+
+    def register_channel(self, chan: ChannelQueue[Any]) -> ChannelQueue[Any]:
+        if id(chan) not in self._channel_ids:
+            self._channel_ids.add(id(chan))
+            self._channels.append(chan)
+        return chan
+
+    def step(self) -> None:
+        for component in self._components:
+            component.tick(self.cycle)
+        for chan in self._channels:
+            chan.commit()
+        self.cycle += 1
+
+    def run(
+        self,
+        max_cycles: int,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run until ``until()`` is true (checked between cycles) or the cycle
+        budget is exhausted.  Returns the cycle count reached.  Raises
+        :class:`SimulationError` when the budget runs out while a predicate is
+        pending, because that almost always means the model deadlocked.
+        """
+        deadline = self.cycle + max_cycles
+        while self.cycle < deadline:
+            if until is not None and until():
+                return self.cycle
+            self.step()
+        if until is not None and not until():
+            raise SimulationError(
+                f"simulation {self.name!r} did not converge in {max_cycles} cycles"
+            )
+        return self.cycle

@@ -1,0 +1,60 @@
+"""Event tracing for simulations.
+
+The tracer records (cycle, channel, event, payload) tuples.  It backs the
+Figure-5 style AXI transaction timelines and is deliberately simple: models
+call :meth:`Tracer.record` at interesting points and analyses slice the event
+list afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    channel: str
+    event: str
+    payload: Any = None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records during a simulation run."""
+
+    enabled: bool = True
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, cycle: int, channel: str, event: str, payload: Any = None) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(cycle, channel, event, payload))
+
+    def filter(self, channel: Optional[str] = None, event: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if channel is not None:
+            out = [e for e in out if e.channel == channel]
+        if event is not None:
+            out = [e for e in out if e.event == event]
+        return list(out)
+
+    def spans(self, channel: str, start_event: str, end_event: str) -> List[Tuple[Any, int, int]]:
+        """Pair start/end events by payload key into (key, start, end) spans."""
+        starts: Dict[Any, int] = {}
+        spans: List[Tuple[Any, int, int]] = []
+        for e in self.events:
+            if e.channel != channel:
+                continue
+            if e.event == start_event:
+                starts[e.payload] = e.cycle
+            elif e.event == end_event and e.payload in starts:
+                spans.append((e.payload, starts.pop(e.payload), e.cycle))
+        return spans
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+#: A process-wide null tracer models can default to.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,95 @@
+"""Tests for the analysis helpers, including arbitration fairness."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyStats,
+    bandwidth_share,
+    bytes_transferred,
+    fairness_index,
+    latency_stats,
+)
+from repro.axi import AxiParams
+from repro.axi.monitor import TxnRecord
+from repro.baselines.memcpy_experiment import run_hls_memcpy
+from repro.memory import Reader, ReadRequest
+from repro.sim import Component
+from repro.testing import build_memory_testbench
+
+
+def rec(kind, axi_id, addr, length, issue, complete):
+    r = TxnRecord(kind, axi_id, addr, length, issue)
+    r.complete_cycle = complete
+    return r
+
+
+def test_latency_stats_basics():
+    records = [rec("read", 0, 0, 1, i, i + 10 + i) for i in range(8)]
+    stats = latency_stats(records, "read")
+    assert stats.count == 8
+    assert stats.max == 17
+    assert stats.growth == pytest.approx(17 / 10.5)
+
+
+def test_latency_stats_empty():
+    assert latency_stats([]) == LatencyStats.empty()
+
+
+def test_bytes_transferred():
+    records = [rec("read", 0, 0, 4, 0, 10), rec("write", 0, 0, 2, 0, 10)]
+    out = bytes_transferred(records, beat_bytes=64)
+    assert out == {"read": 256, "write": 128}
+
+
+def test_fairness_index_bounds():
+    assert fairness_index([1, 1, 1, 1]) == pytest.approx(1.0)
+    assert fairness_index([1, 0, 0, 0]) == pytest.approx(0.25)
+    assert fairness_index([]) == 1.0
+
+
+def test_hls_latency_growth_detected():
+    result = run_hls_memcpy(262144)
+    stats = latency_stats(result.records, "read")
+    assert stats.growth > 1.5  # queueing behind the single-ID pipeline
+
+
+class _Streamer(Component):
+    def __init__(self, reader, base, total):
+        super().__init__("s")
+        self.reader = reader
+        self.base = base
+        self.total = total
+        self.requested = 0
+        self.received = 0
+
+    def tick(self, cycle):
+        if self.requested < self.total and self.reader.request.can_push():
+            self.reader.request.push(ReadRequest(self.base + self.requested, 16384))
+            self.requested += 16384
+        while self.reader.data.can_pop():
+            self.received += len(self.reader.data.pop())
+
+
+def test_tree_arbitration_is_fair():
+    """Four identical readers hammering the controller share bandwidth with
+    a Jain index near 1."""
+    params = AxiParams()
+    readers = [Reader(f"r{i}", 64, params) for i in range(4)]
+    tb = build_memory_testbench([r.port for r in readers])
+    streamers = []
+    regions = {}
+    for i, reader in enumerate(readers):
+        base = i * 0x100_0000
+        regions[base] = i
+        streamers.append(_Streamer(reader, base, 128 * 1024))
+        tb.sim.add(reader)
+        tb.sim.add(streamers[-1])
+    tb.run(
+        500_000,
+        until=lambda: all(s.received >= s.total for s in streamers),
+    )
+    shares = bandwidth_share(
+        tb.monitor.records, lambda addr: addr // 0x100_0000, beat_bytes=64
+    )
+    index = fairness_index(list(shares.values()))
+    assert index > 0.99

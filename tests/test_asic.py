@@ -1,0 +1,115 @@
+"""Tests for the ASIC backend: memory compiler and ChipKIT integration."""
+
+import os
+
+import pytest
+
+from repro.asic import (
+    ASAP7_MACROS,
+    ChipKitIntegration,
+    MemoryCompiler,
+    MemoryCompilerError,
+    MissingCpuSourceError,
+    SAED_MACROS,
+)
+from repro.core import BeethovenBuild, BuildMode
+from repro.hdl import emit_design
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import Asap7Platform, ChipKitPlatform, SynopsysPdkPlatform
+
+
+def test_exact_fit_single_macro():
+    plan = MemoryCompiler(ASAP7_MACROS).compile(64, 512)
+    assert plan.n_macros == 1
+    assert plan.efficiency == 1.0
+
+
+def test_width_cascading():
+    plan = MemoryCompiler(ASAP7_MACROS).compile(512, 320)
+    assert plan.lanes * plan.macro.width_bits >= 512
+    assert plan.total_bits >= 512 * 320
+
+
+def test_depth_banking():
+    plan = MemoryCompiler(ASAP7_MACROS).compile(64, 5000)
+    assert plan.banks >= 2
+    assert plan.banks * plan.macro.depth >= 5000
+    # Banking pays a decode/mux area overhead.
+    single = MemoryCompiler(ASAP7_MACROS).compile(64, plan.macro.depth)
+    assert plan.area_um2 > plan.n_macros / single.n_macros * single.area_um2
+
+
+def test_min_area_selection():
+    compiler = MemoryCompiler(ASAP7_MACROS)
+    plan = compiler.compile(32, 64)
+    brute = min(
+        (
+            m
+            for m in ASAP7_MACROS
+            if m.n_rw_ports >= 1
+        ),
+        key=lambda m: (-(-32 // m.width_bits)) * (-(-64 // m.depth)) * m.area_um2,
+    )
+    assert plan.macro.name == brute.name
+
+
+def test_dual_port_requirement():
+    plan = MemoryCompiler(ASAP7_MACROS).compile(64, 256, n_rw_ports=2)
+    assert plan.macro.n_rw_ports >= 2
+    with pytest.raises(MemoryCompilerError):
+        MemoryCompiler(ASAP7_MACROS).compile(64, 256, n_rw_ports=3)
+
+
+def test_bad_requests_rejected():
+    with pytest.raises(MemoryCompilerError):
+        MemoryCompiler(ASAP7_MACROS).compile(0, 64)
+    with pytest.raises(MemoryCompilerError):
+        MemoryCompiler([])
+
+
+def test_saed_library_differs():
+    asap = MemoryCompiler(ASAP7_MACROS).compile(64, 512)
+    saed = MemoryCompiler(SAED_MACROS).compile(64, 512)
+    assert saed.area_um2 > asap.area_um2  # older node, bigger cells
+
+
+def test_asic_build_compiles_all_memories():
+    build = BeethovenBuild(vector_add_config(1), Asap7Platform(), BuildMode.Simulation)
+    assert build.design.macro_plans  # reader/writer buffers compiled
+    for _path, plan in build.design.macro_plans:
+        assert plan.n_macros >= 1
+
+
+def test_synopsys_platform_builds():
+    build = BeethovenBuild(vector_add_config(1), SynopsysPdkPlatform())
+    for _path, plan in build.design.macro_plans:
+        assert plan.macro.name.startswith("saed")
+
+
+def test_chipkit_requires_m0_source(tmp_path):
+    with pytest.raises(MissingCpuSourceError):
+        ChipKitIntegration(m0_source_path="").validate()
+    with pytest.raises(MissingCpuSourceError):
+        ChipKitIntegration(m0_source_path="/no/such/path").validate()
+    m0 = tmp_path / "m0"
+    m0.mkdir()
+    ChipKitIntegration(m0_source_path=str(m0)).validate()
+
+
+def test_chipkit_top_wraps_fabric(tmp_path):
+    m0 = tmp_path / "m0"
+    m0.mkdir()
+    platform = ChipKitPlatform(m0_source_path=str(m0))
+    build = BeethovenBuild(vector_add_config(1), platform)
+    top = build.emit_chipkit_top()
+    names = [inst.module.name for inst in top.instances]
+    assert "arm_cortex_m0" in names
+    verilog = emit_design(top)
+    assert "module chipkit_top" in verilog
+
+
+def test_chipkit_build_without_m0_fails(tmp_path):
+    platform = ChipKitPlatform(m0_source_path=str(tmp_path / "missing"))
+    build = BeethovenBuild(vector_add_config(1), platform)
+    with pytest.raises(MissingCpuSourceError):
+        build.emit_chipkit_top()

@@ -1,0 +1,177 @@
+"""Tests for the A^3 attention accelerator and its numerics."""
+
+import numpy as np
+import pytest
+
+from repro.core import BeethovenBuild, BuildMode
+from repro.kernels.attention import (
+    a3_config,
+    attention_a3_fixed,
+    attention_error,
+    attention_float,
+    scale_log2e_q,
+)
+from repro.kernels.attention.fixedpoint import (
+    EXP2_LUT,
+    WEIGHT_FRAC_BITS,
+    exp2_fixed,
+    fixed_weights,
+    quantize_int8,
+)
+from repro.kernels.attention.reference import BERT_DIM, BERT_KEYS, SCALE_FRAC_BITS
+from repro.platforms import AWSF1Platform, SimulationPlatform
+from repro.runtime import FpgaHandle
+
+RNG = np.random.default_rng(2024)
+
+
+# --------------------------------------------------------------- fixed point
+def test_quantize_clips_and_rounds():
+    x = np.array([0.0, 0.049, -0.051, 100.0, -100.0], dtype=np.float32)
+    q = quantize_int8(x, 0.05)
+    assert list(q) == [0, 1, -1, 127, -128]
+
+
+def test_exp2_fixed_known_points():
+    frac = SCALE_FRAC_BITS
+    # 2^0 = 1.0 in Q1.15
+    assert exp2_fixed(np.array([0]), frac)[0] == 1 << 15
+    # 2^-1 = 0.5
+    assert exp2_fixed(np.array([-(1 << frac)]), frac)[0] == 1 << 14
+    # Deep negatives underflow to zero, never negative.
+    assert exp2_fixed(np.array([-(64 << frac)]), frac)[0] == 0
+
+
+def test_exp2_fixed_monotone():
+    frac = SCALE_FRAC_BITS
+    xs = -np.arange(0, 5 << frac, 1 << (frac - 3))
+    ys = exp2_fixed(xs, frac)
+    assert (np.diff(ys) <= 0).all()
+
+
+def test_exp2_lut_is_increasing():
+    assert (np.diff(EXP2_LUT) > 0).all()
+
+
+def test_fixed_weights_sum_near_one():
+    scores = RNG.integers(-50000, 50000, 320).astype(np.int32)
+    w = fixed_weights(scores, scale_log2e_q(64, 0.05), SCALE_FRAC_BITS)
+    total = w.sum() / (1 << WEIGHT_FRAC_BITS)
+    assert 0.97 < total <= 1.0
+    assert (w >= 0).all()
+
+
+def test_fixed_weights_follow_score_order():
+    scores = np.array([100, 5000, -3000, 20000], dtype=np.int32)
+    w = fixed_weights(scores, scale_log2e_q(64, 0.05), SCALE_FRAC_BITS)
+    assert list(np.argsort(w)) == list(np.argsort(scores))
+
+
+def test_scale_underflow_rejected():
+    with pytest.raises(ValueError):
+        scale_log2e_q(64, 1e-9)
+
+
+# ---------------------------------------------------------------- reference
+def test_attention_float_is_convex_combination():
+    q = RNG.normal(0, 1, 16).astype(np.float32)
+    keys = RNG.normal(0, 1, (40, 16)).astype(np.float32)
+    values = RNG.normal(0, 1, (40, 16)).astype(np.float32)
+    out = attention_float(q, keys, values)
+    assert out.min() >= values.min() - 1e-5
+    assert out.max() <= values.max() + 1e-5
+
+
+def test_a3_approximation_error_bounded():
+    errs = []
+    for _ in range(4):
+        q = RNG.normal(0, 1, BERT_DIM).astype(np.float32)
+        keys = RNG.normal(0, 1, (BERT_KEYS, BERT_DIM)).astype(np.float32)
+        values = RNG.normal(0, 1, (BERT_KEYS, BERT_DIM)).astype(np.float32)
+        errs.append(attention_error(q, keys, values, scale=0.05))
+    assert max(errs) < 0.30  # int8 + LUT-exponent approximation regime
+
+
+def test_a3_fixed_requires_int8():
+    with pytest.raises(TypeError):
+        attention_a3_fixed(
+            np.zeros(8, dtype=np.int32),
+            np.zeros((4, 8), dtype=np.int8),
+            np.zeros((4, 8), dtype=np.int8),
+        )
+
+
+# ------------------------------------------------------------------ hardware
+def run_core(dim, n_keys, n_queries, n_cores=1, core_idx=0):
+    build = BeethovenBuild(a3_config(n_cores, dim, n_keys), SimulationPlatform())
+    handle = FpgaHandle(build.design)
+    keys = RNG.integers(-50, 50, (n_keys, dim)).astype(np.int8)
+    values = RNG.integers(-50, 50, (n_keys, dim)).astype(np.int8)
+    queries = RNG.integers(-50, 50, (n_queries, dim)).astype(np.int8)
+    pk, pv = handle.malloc(keys.nbytes), handle.malloc(values.nbytes)
+    pq, po = handle.malloc(queries.nbytes), handle.malloc(queries.nbytes)
+    for p, m in ((pk, keys), (pv, values), (pq, queries)):
+        p.write(m.tobytes())
+        handle.copy_to_fpga(p)
+    handle.call("A3", "load_kv", core_idx, key_addr=pk.fpga_addr, value_addr=pv.fpga_addr).get()
+    start = handle.cycle
+    handle.call(
+        "A3", "attend", core_idx,
+        query_addr=pq.fpga_addr, out_addr=po.fpga_addr,
+        n_queries=n_queries, temp_q=scale_log2e_q(dim, 0.05),
+    ).get()
+    cycles = handle.cycle - start
+    handle.copy_from_fpga(po)
+    got = np.frombuffer(po.read(), dtype=np.int8).reshape(n_queries, dim)
+    expected = np.stack([attention_a3_fixed(q, keys, values, 0.05) for q in queries])
+    return got, expected, cycles
+
+
+def test_a3_core_bit_exact():
+    got, expected, _ = run_core(dim=32, n_keys=48, n_queries=12)
+    assert (got == expected).all()
+
+
+def test_a3_core_on_second_core():
+    got, expected, _ = run_core(dim=16, n_keys=24, n_queries=6, n_cores=3, core_idx=2)
+    assert (got == expected).all()
+
+
+def test_a3_pipeline_throughput_near_n_keys():
+    """Steady state approaches one query per n_keys cycles (pipelined)."""
+    _, _, cycles = run_core(dim=16, n_keys=64, n_queries=48)
+    assert cycles / 48 < 64 * 1.6
+
+
+def test_a3_reload_kv():
+    """K/V can be re-loaded between attend commands."""
+    dim, nk = 16, 16
+    build = BeethovenBuild(a3_config(1, dim, nk), SimulationPlatform())
+    handle = FpgaHandle(build.design)
+    temp = scale_log2e_q(dim, 0.05)
+    outs = []
+    for round_i in range(2):
+        keys = RNG.integers(-50, 50, (nk, dim)).astype(np.int8)
+        values = RNG.integers(-50, 50, (nk, dim)).astype(np.int8)
+        queries = RNG.integers(-50, 50, (4, dim)).astype(np.int8)
+        pk, pv = handle.malloc(keys.nbytes), handle.malloc(values.nbytes)
+        pq, po = handle.malloc(queries.nbytes), handle.malloc(queries.nbytes)
+        for p, m in ((pk, keys), (pv, values), (pq, queries)):
+            p.write(m.tobytes())
+            handle.copy_to_fpga(p)
+        handle.call("A3", "load_kv", 0, key_addr=pk.fpga_addr, value_addr=pv.fpga_addr).get()
+        handle.call(
+            "A3", "attend", 0, query_addr=pq.fpga_addr, out_addr=po.fpga_addr,
+            n_queries=4, temp_q=temp,
+        ).get()
+        handle.copy_from_fpga(po)
+        got = np.frombuffer(po.read(), dtype=np.int8).reshape(4, dim)
+        expected = np.stack([attention_a3_fixed(q, keys, values, 0.05) for q in queries])
+        assert (got == expected).all()
+        outs.append(got.copy())
+    assert not (outs[0] == outs[1]).all()  # different K/V, different results
+
+
+def test_a3_config_has_92_interfaces_at_23_cores():
+    build = BeethovenBuild(a3_config(23), AWSF1Platform(), BuildMode.Simulation)
+    assert build.design.n_memory_interfaces == 92

@@ -1,0 +1,189 @@
+"""Tests for the RoCC command subsystem: packing, routing, adapters."""
+
+import pytest
+
+from repro.command import (
+    Address,
+    BeethovenIO,
+    CommandRouter,
+    CommandSpec,
+    CoreCommandAdapter,
+    EmptyAccelResponse,
+    Field,
+    Float32,
+    MmioFrontend,
+    ResponseSpec,
+    RoccInstruction,
+    RoccResponse,
+    UInt,
+)
+from repro.sim import SimulationError, Simulator
+
+
+# ----------------------------------------------------------------------- RoCC
+def test_rocc_word_roundtrip():
+    inst = RoccInstruction(
+        system_id=3, core_id=7, funct7=5, rs1=0x1122334455667788,
+        rs2=0xAABBCCDDEEFF0011, xd=True, rd=13,
+    )
+    assert RoccInstruction.decode_words(inst.encode_words()) == inst
+
+
+def test_rocc_response_roundtrip():
+    resp = RoccResponse(system_id=2, core_id=9, rd=4, data=0xDEADBEEFCAFEF00D)
+    assert RoccResponse.decode_words(resp.encode_words()) == resp
+
+
+def test_rocc_field_validation():
+    with pytest.raises(ValueError):
+        RoccInstruction(0, 0, funct7=200, rs1=0, rs2=0)
+    with pytest.raises(ValueError):
+        RoccInstruction(0, 0, funct7=0, rs1=-1, rs2=0)
+    with pytest.raises(ValueError):
+        RoccInstruction(0, 0, funct7=0, rs1=0, rs2=0, rd=32)
+
+
+# ------------------------------------------------------------------- packing
+def test_small_command_fits_one_chunk():
+    spec = CommandSpec("s", (Field("a", UInt(32)), Field("b", UInt(64))))
+    assert spec.n_chunks(addr_bits=34) == 1
+
+
+def test_wide_command_splits_chunks():
+    spec = CommandSpec(
+        "wide",
+        (Field("a", UInt(64)), Field("b", UInt(64)), Field("c", UInt(64))),
+    )
+    assert spec.n_chunks(addr_bits=34) == 2
+    values = {"a": 2**63 + 1, "b": 12345, "c": 2**64 - 1}
+    chunks = spec.pack(values, 34)
+    assert len(chunks) == 2
+    assert spec.unpack(chunks, 34) == values
+
+
+def test_address_field_width_follows_platform():
+    spec = CommandSpec("s", (Field("p", Address()), Field("n", UInt(32))))
+    assert spec.total_bits(addr_bits=34) == 66
+    assert spec.total_bits(addr_bits=64) == 96
+    # Same values, different bit layouts: both round-trip.
+    values = {"p": 0x3_0000_0000, "n": 99}
+    for bits in (34, 40, 64):
+        assert spec.unpack(spec.pack(values, bits), bits) == values
+
+
+def test_float_field_roundtrip():
+    spec = CommandSpec("f", (Field("x", Float32()),))
+    out = spec.unpack(spec.pack({"x": 3.25}, 34), 34)
+    assert out["x"] == 3.25
+
+
+def test_pack_validates_fields():
+    spec = CommandSpec("s", (Field("a", UInt(8)),))
+    with pytest.raises(ValueError, match="missing"):
+        spec.pack({}, 34)
+    with pytest.raises(ValueError, match="unknown"):
+        spec.pack({"a": 1, "zz": 2}, 34)
+    with pytest.raises(ValueError, match="does not fit"):
+        spec.pack({"a": 256}, 34)
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(ValueError):
+        CommandSpec("dup", (Field("a", UInt(8)), Field("a", UInt(8))))
+
+
+def test_response_spec_limits():
+    with pytest.raises(ValueError):
+        ResponseSpec("big", (Field("a", UInt(64)), Field("b", UInt(1))))
+    spec = ResponseSpec("ok", (Field("x", UInt(20)), Field("y", UInt(44))))
+    vals = {"x": 0xFFFFF, "y": 123}
+    assert spec.unpack(spec.pack(vals)) == vals
+
+
+# -------------------------------------------------------------- adapter/router
+def make_fabric(n_cores=2, chunks_spec=None):
+    spec = chunks_spec or CommandSpec("go", (Field("x", UInt(32)),))
+    router = CommandRouter()
+    mmio = MmioFrontend(router)
+    sim = Simulator()
+    adapters = []
+    for core in range(n_cores):
+        io = BeethovenIO(spec, EmptyAccelResponse())
+        adapter = CoreCommandAdapter(0, core, [io], addr_bits=34)
+        router.attach(adapter, latency=2 + core)
+        sim.add(adapter)
+        adapters.append((adapter, io))
+    sim.add(router)
+    sim.add(mmio)
+    return sim, mmio, adapters, spec
+
+
+def test_command_reaches_addressed_core():
+    sim, mmio, adapters, spec = make_fabric()
+    (rs1, rs2), = spec.pack({"x": 77}, 34)
+    inst = RoccInstruction(0, 1, funct7=0, rs1=rs1, rs2=rs2, xd=True, rd=1)
+    for word in inst.encode_words():
+        mmio.cmd_words.push(word)
+    sim.run(100, until=lambda: adapters[1][1].req.can_pop())
+    assert adapters[1][1].req.peek() == {"x": 77}
+    assert not adapters[0][1].req.can_pop()
+
+
+def test_response_travels_back():
+    sim, mmio, adapters, spec = make_fabric()
+    (rs1, rs2), = spec.pack({"x": 5}, 34)
+    inst = RoccInstruction(0, 0, funct7=0, rs1=rs1, rs2=rs2, xd=True, rd=9)
+    for word in inst.encode_words():
+        mmio.cmd_words.push(word)
+    sim.run(100, until=lambda: adapters[0][1].req.can_pop())
+    adapters[0][1].req.pop()
+    adapters[0][1].resp.push({})
+    sim.run(100, until=lambda: len(mmio.resp_words) >= 4)
+    words = [mmio.resp_words.pop() for _ in range(4)]
+    resp = RoccResponse.decode_words(words)
+    assert resp.rd == 9
+    assert (resp.system_id, resp.core_id) == (0, 0)
+
+
+def test_multichunk_command_reassembled():
+    wide = CommandSpec(
+        "wide", (Field("a", UInt(64)), Field("b", UInt(64)), Field("c", UInt(64)))
+    )
+    sim, mmio, adapters, spec = make_fabric(n_cores=1, chunks_spec=wide)
+    values = {"a": 1, "b": 2**50, "c": 3}
+    chunks = wide.pack(values, 34)
+    for i, (rs1, rs2) in enumerate(chunks):
+        inst = RoccInstruction(
+            0, 0, funct7=0, rs1=rs1, rs2=rs2, xd=(i == len(chunks) - 1), rd=1
+        )
+        for word in inst.encode_words():
+            mmio.cmd_words.push(word)
+    sim.run(200, until=lambda: adapters[0][1].req.can_pop())
+    assert adapters[0][1].req.pop() == values
+
+
+def test_router_rejects_unknown_core():
+    sim, mmio, adapters, spec = make_fabric(n_cores=1)
+    inst = RoccInstruction(0, 5, funct7=0, rs1=0, rs2=0)
+    for word in inst.encode_words():
+        mmio.cmd_words.push(word)
+    with pytest.raises(SimulationError, match="unknown core"):
+        sim.run(50)
+
+
+def test_adapter_rejects_unknown_io_index():
+    sim, mmio, adapters, spec = make_fabric(n_cores=1)
+    inst = RoccInstruction(0, 0, funct7=3, rs1=0, rs2=0)
+    for word in inst.encode_words():
+        mmio.cmd_words.push(word)
+    with pytest.raises(SimulationError, match="unknown IO"):
+        sim.run(50)
+
+
+def test_router_duplicate_attach_rejected():
+    router = CommandRouter()
+    io = BeethovenIO(CommandSpec("x", (Field("a", UInt(8)),)), EmptyAccelResponse())
+    a = CoreCommandAdapter(0, 0, [io], 34)
+    router.attach(a)
+    with pytest.raises(ValueError):
+        router.attach(a)

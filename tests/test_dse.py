@@ -1,0 +1,44 @@
+"""Tests for the design-space exploration utilities."""
+
+from repro.dse import evaluate_point, limiting_resource, max_feasible_cores, sweep_cores
+from repro.kernels.attention import a3_config
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import AWSF1Platform, kernel_mode
+
+
+def test_sweep_reports_monotone_totals():
+    platform = AWSF1Platform()
+    points = sweep_cores(lambda n: vector_add_config(n), [1, 2, 4], platform)
+    luts = [p.total_lut for p in points]
+    assert luts == sorted(luts)
+    assert all(p.feasible for p in points)
+
+
+def test_max_feasible_a3_is_at_least_23():
+    """The paper shipped 23 A^3 cores; our model must admit them."""
+    n, limiter, build = max_feasible_cores(lambda c: a3_config(c), AWSF1Platform(), limit=32)
+    assert n >= 23
+    assert limiter in ("LUT", "BRAM")
+    assert build is not None
+
+
+def test_infeasible_point_carries_reasons():
+    platform = AWSF1Platform()
+    big = evaluate_point(lambda n: a3_config(n), 32, platform)
+    if not big.feasible:
+        assert big.reasons
+
+
+def test_limiting_resource_returns_kind():
+    platform = AWSF1Platform()
+    kind = limiting_resource(lambda n: vector_add_config(n), 2, platform)
+    assert kind in ("clb", "lut", "reg", "bram", "uram")
+
+
+def test_kernel_mode_preserves_platform_identity():
+    base = AWSF1Platform()
+    km = kernel_mode(base)
+    assert km.host.command_lock_cycles < base.host.command_lock_cycles
+    assert km.host.mmio_word_cycles < base.host.mmio_word_cycles
+    assert km.clock_mhz == base.clock_mhz
+    assert km.device is base.device

@@ -1,0 +1,167 @@
+"""Tests for the FPGA models: devices, memcells, floorplan, resources, power."""
+
+import pytest
+
+from repro.fpga import (
+    FANOUT_HARD_LIMIT,
+    Floorplanner,
+    MemcellMapper,
+    ResourceEstimator,
+    ResourceVector,
+    bram_count,
+    clb_for,
+    emit_constraints,
+    make_kria_k26,
+    make_vu9p_aws_f1,
+    routability_report,
+    uram_count,
+)
+from repro.fpga.power import estimate_power
+from repro.hdl.ir import HdlMemory
+
+
+# ------------------------------------------------------------------ vectors
+def test_resource_vector_arithmetic():
+    a = ResourceVector(clb=1, lut=10, reg=20, bram=2, uram=1)
+    b = ResourceVector(clb=2, lut=5, reg=5, bram=1, uram=0)
+    s = a + b
+    assert (s.clb, s.lut, s.bram) == (3, 15, 3)
+    d = s - b
+    assert (d.lut, d.uram) == (10, 1)
+    assert a.scaled(2).reg == 40
+
+
+def test_fits_and_utilisation():
+    cap = ResourceVector(clb=100, lut=800, reg=1600, bram=10, uram=5)
+    use = ResourceVector(clb=50, lut=400, reg=100, bram=10, uram=0)
+    assert use.fits_in(cap)
+    assert use.max_utilisation_of(cap) == 1.0  # bram full
+    assert not (use + ResourceVector(bram=1)).fits_in(cap)
+
+
+def test_devices():
+    vu9p = make_vu9p_aws_f1()
+    assert vu9p.n_slrs == 3
+    assert vu9p.total_capacity().bram == 2160
+    # Shell eats into SLR0 more than SLR1.
+    assert vu9p.free_capacity(0).lut < vu9p.free_capacity(1).lut
+    assert vu9p.free_capacity(2).lut == vu9p.slr_capacity[2].lut - 8_000 * 0
+    kria = make_kria_k26()
+    assert kria.n_slrs == 1
+
+
+# ----------------------------------------------------------------- memcells
+def test_bram_count_geometry():
+    assert bram_count(72, 512) == 1
+    assert bram_count(36, 1024) == 1
+    assert bram_count(512, 512) == 8
+    assert bram_count(512, 640) == 15  # the 36x1024 aspect wins
+    assert bram_count(1, 1) == 1
+
+
+def test_uram_count_geometry():
+    assert uram_count(72, 4096) == 1
+    assert uram_count(144, 4096) == 2
+    assert uram_count(72, 8192) == 2
+    assert uram_count(8, 100) == 1
+
+
+def test_small_memory_goes_to_lutram():
+    mapper = MemcellMapper(make_vu9p_aws_f1())
+    mem = HdlMemory("tiny", 16, 32)
+    assert mapper.map_memory(mem, 0) == "LUTRAM"
+    assert mem.cell_mapping == "LUTRAM"
+
+
+def test_preferred_kind_minimises_waste():
+    mapper = MemcellMapper(make_vu9p_aws_f1())
+    # 72 x 4096 fits exactly one URAM; BRAM would need 8 tiles.
+    assert mapper.preferred_kind(HdlMemory("big", 72, 4096)) == "URAM"
+    # 72 x 512 fits exactly one BRAM.
+    assert mapper.preferred_kind(HdlMemory("small", 72, 512)) == "BRAM"
+
+
+def test_spill_at_threshold():
+    device = make_vu9p_aws_f1()
+    mapper = MemcellMapper(device)
+    free_bram = device.free_capacity(0).bram
+    mem_tiles = bram_count(512, 640)
+    n_fit = int(0.8 * free_bram // mem_tiles)
+    kinds = [
+        mapper.map_memory(HdlMemory(f"m{i}", 512, 640), 0) for i in range(n_fit + 2)
+    ]
+    assert kinds[0] == "BRAM"
+    assert "URAM" in kinds[-2:]
+    assert mapper.spills >= 1
+    assert mapper.feasible
+
+
+# ---------------------------------------------------------------- floorplan
+def test_floorplanner_balances_and_avoids_shell():
+    device = make_vu9p_aws_f1()
+    planner = Floorplanner(device)
+    core = ResourceVector(clb=4000, lut=28000, reg=20000)
+    placement = planner.place([(f"c{i}", core) for i in range(12)])
+    counts = {slr: len(placement.cores_on(slr)) for slr in range(3)}
+    assert sum(counts.values()) == 12
+    assert counts[0] <= counts[1] <= counts[2]
+
+
+def test_constraints_mention_every_core():
+    device = make_vu9p_aws_f1()
+    planner = Floorplanner(device)
+    placement = planner.place([("a", ResourceVector(clb=10)), ("b", ResourceVector(clb=10))])
+    text = emit_constraints(placement, device)
+    assert "get_cells a" in text and "get_cells b" in text
+
+
+def test_routability_failure_modes():
+    device = make_vu9p_aws_f1()
+    planner = Floorplanner(device)
+    placement = planner.place([("c", ResourceVector(clb=10))])
+    ok = routability_report(device, placement)
+    assert ok.feasible
+    over = routability_report(
+        device,
+        planner.place([("big", ResourceVector(clb=200_000))]),
+    )
+    assert not over.feasible
+    fanout = routability_report(device, placement, max_fanout=FANOUT_HARD_LIMIT + 1)
+    assert not fanout.feasible and "fanout" in fanout.reasons[0]
+    crossing = routability_report(device, placement, unbuffered_crossings=1)
+    assert not crossing.feasible
+    nomem = routability_report(device, placement, memcells_feasible=False)
+    assert not nomem.feasible
+    uncon = routability_report(device, placement, constraints_emitted=False)
+    assert not uncon.feasible
+
+
+# ---------------------------------------------------------------- resources
+def test_estimator_monotonic_in_width():
+    est = ResourceEstimator()
+    assert est.reader(64, 4, 4).lut > est.reader(4, 4, 4).lut
+    assert est.writer(64, 4).lut > est.writer(4, 4).lut
+    assert est.noc_node(8, 64).lut > est.noc_node(2, 64).lut
+
+
+def test_clb_packing_rule():
+    assert clb_for(73, 0) == pytest.approx(10, rel=0.01)
+    assert clb_for(0, 146) == pytest.approx(10, rel=0.01)
+
+
+def test_memory_cell_pricing():
+    est = ResourceEstimator()
+    assert est.memory_cells("BRAM", 15).bram == 15
+    assert est.memory_cells("URAM", 16).uram == 16
+    assert est.memory_cells("LUTRAM", 640).lut > 0
+    with pytest.raises(ValueError):
+        est.memory_cells("FLASH", 1)
+
+
+# -------------------------------------------------------------------- power
+def test_power_model_anchors():
+    used = ResourceVector(lut=887_000, reg=541_000, bram=658, uram=619)
+    est = estimate_power(used, 250.0)
+    assert 20 < est.total_w < 28  # the paper's ~24 W design
+    idle = estimate_power(ResourceVector(), 250.0)
+    assert idle.total_w == idle.static_w

@@ -1,0 +1,225 @@
+"""Integration tests for the core framework: build -> runtime -> kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AcceleratorConfig,
+    BeethovenBuild,
+    BuildMode,
+    ReadChannelConfig,
+    WriteChannelConfig,
+)
+from repro.core.accelerator import AcceleratorCore
+from repro.command.packing import CommandSpec, EmptyAccelResponse, Field, UInt
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import AWSF1Platform, KriaPlatform, SimulationPlatform
+from repro.runtime import FpgaHandle, bindings_for
+
+
+@pytest.fixture(scope="module")
+def vecadd_build():
+    return BeethovenBuild(
+        vector_add_config(n_cores=2), SimulationPlatform(), BuildMode.Simulation
+    )
+
+
+def fresh_handle():
+    build = BeethovenBuild(
+        vector_add_config(n_cores=2), SimulationPlatform(), BuildMode.Simulation
+    )
+    return build, FpgaHandle(build.design)
+
+
+def test_vecadd_end_to_end():
+    build, handle = fresh_handle()
+    mem = handle.malloc(1024)
+    data = np.arange(256, dtype=np.uint32)
+    mem.write(data.tobytes())
+    handle.copy_to_fpga(mem)
+    bindings = bindings_for(handle, "MyAcceleratorSystem")
+    resp = bindings.my_accel(0, addend=7, vec_addr=mem.fpga_addr, n_eles=256)
+    assert resp.get() == {"ok": True}
+    handle.copy_from_fpga(mem)
+    out = np.frombuffer(mem.read(), dtype=np.uint32)
+    assert (out == data + 7).all()
+
+
+def test_vecadd_multiple_cores_in_parallel():
+    build, handle = fresh_handle()
+    mems, expected = [], []
+    bindings = bindings_for(handle, "MyAcceleratorSystem")
+    handles = []
+    for core in range(2):
+        mem = handle.malloc(512)
+        data = np.full(128, 100 * (core + 1), dtype=np.uint32)
+        mem.write(data.tobytes())
+        handle.copy_to_fpga(mem)
+        mems.append(mem)
+        expected.append(data + core + 1)
+        handles.append(
+            bindings.my_accel(core, addend=core + 1, vec_addr=mem.fpga_addr, n_eles=128)
+        )
+    for resp in handles:
+        resp.get()
+    for mem, exp in zip(mems, expected):
+        handle.copy_from_fpga(mem)
+        assert (np.frombuffer(mem.read(), dtype=np.uint32) == exp).all()
+
+
+def test_vecadd_sequential_commands_to_same_core():
+    build, handle = fresh_handle()
+    mem = handle.malloc(256)
+    data = np.zeros(64, dtype=np.uint32)
+    mem.write(data.tobytes())
+    handle.copy_to_fpga(mem)
+    bindings = bindings_for(handle, "MyAcceleratorSystem")
+    for _ in range(3):
+        bindings.my_accel(0, addend=5, vec_addr=mem.fpga_addr, n_eles=64).get()
+    handle.copy_from_fpga(mem)
+    assert (np.frombuffer(mem.read(), dtype=np.uint32) == 15).all()
+
+
+def test_try_get_nonblocking():
+    build, handle = fresh_handle()
+    mem = handle.malloc(4096)
+    handle.copy_to_fpga(mem)
+    bindings = bindings_for(handle, "MyAcceleratorSystem")
+    resp = bindings.my_accel(0, addend=1, vec_addr=mem.fpga_addr, n_eles=1024)
+    assert resp.try_get() is None  # command not even dispatched yet
+    resp.get()
+    assert resp.try_get() == {"ok": True}
+
+
+def test_unknown_system_core_io_rejected():
+    build, handle = fresh_handle()
+    with pytest.raises(KeyError):
+        handle.call("NoSuchSystem", "my_accel", 0)
+    with pytest.raises(IndexError):
+        handle.call("MyAcceleratorSystem", "my_accel", 99, addend=0, vec_addr=0, n_eles=1)
+    with pytest.raises(KeyError):
+        handle.call("MyAcceleratorSystem", "nope", 0)
+
+
+def test_field_validation():
+    build, handle = fresh_handle()
+    with pytest.raises(ValueError):
+        handle.call(
+            "MyAcceleratorSystem", "my_accel", 0, addend=2**33, vec_addr=0, n_eles=1
+        )
+    with pytest.raises(ValueError):
+        handle.call("MyAcceleratorSystem", "my_accel", 0, addend=1)
+
+
+def test_core_without_io_rejected():
+    class Mute(AcceleratorCore):
+        def __init__(self, ctx):
+            super().__init__(ctx)
+
+        def tick(self, cycle):
+            pass
+
+    cfg = AcceleratorConfig(name="Mute", n_cores=1, module_constructor=Mute)
+    with pytest.raises(ValueError):
+        BeethovenBuild(cfg, SimulationPlatform())
+
+
+def test_duplicate_system_names_rejected():
+    with pytest.raises(ValueError):
+        BeethovenBuild(
+            [vector_add_config(1, "Same"), vector_add_config(1, "Same")],
+            SimulationPlatform(),
+        )
+
+
+def test_cross_platform_retarget():
+    """Figure 3a's selling point: only the platform argument changes."""
+    for platform in (AWSF1Platform(), KriaPlatform(), SimulationPlatform()):
+        build = BeethovenBuild(vector_add_config(n_cores=1), platform)
+        assert build.design.sim is not None
+        assert build.summary()
+
+
+def test_kria_end_to_end_shared_memory():
+    build = BeethovenBuild(vector_add_config(n_cores=1), KriaPlatform())
+    handle = FpgaHandle(build.design)
+    assert not handle.discrete
+    mem = handle.malloc(256)
+    data = np.arange(64, dtype=np.uint32)
+    mem.write(data.tobytes())  # embedded: writes through, no DMA needed
+    bindings = bindings_for(handle, "MyAcceleratorSystem")
+    bindings.my_accel(0, addend=3, vec_addr=mem.fpga_addr, n_eles=64).get()
+    out = np.frombuffer(mem.read(), dtype=np.uint32)
+    assert (out == data + 3).all()
+
+
+def test_verilog_emission(vecadd_build):
+    verilog = vecadd_build.emit_verilog()
+    assert "module beethoven_top_simulation" in verilog
+    assert "module system_MyAcceleratorSystem" in verilog
+    assert "reader_MyAcceleratorSystem_vec_in" in verilog
+    assert verilog.count("endmodule") >= 5
+
+
+def test_constraint_emission():
+    build = BeethovenBuild(vector_add_config(n_cores=3), AWSF1Platform())
+    constraints = build.emit_constraints()
+    assert "create_pblock pblock_slr0" in constraints
+    assert "add_cells_to_pblock" in constraints
+
+
+def test_cpp_header_generation(vecadd_build):
+    header = vecadd_build.emit_cpp_header()
+    assert "namespace MyAcceleratorSystem" in header
+    assert "response_handle<bool> my_accel(" in header
+    assert "const remote_ptr & vec_addr" in header
+
+
+def test_resource_report_structure(vecadd_build):
+    report = vecadd_build.resource_report
+    assert len(report.per_core) == 2
+    for path, breakdown in report.per_core_breakdown.items():
+        assert any(k.startswith("reader.") for k in breakdown)
+        assert any(k.startswith("writer.") for k in breakdown)
+    assert report.total.lut > 0
+    assert report.with_shell.lut > report.total.lut
+
+
+def test_multi_system_heterogeneous_build():
+    cfgs = [
+        vector_add_config(2, "SysA"),
+        vector_add_config(1, "SysB"),
+    ]
+    build = BeethovenBuild(cfgs, SimulationPlatform())
+    handle = FpgaHandle(build.design)
+    mem_a = handle.malloc(256)
+    mem_b = handle.malloc(256)
+    mem_a.write(np.zeros(64, dtype=np.uint32).tobytes())
+    mem_b.write(np.zeros(64, dtype=np.uint32).tobytes())
+    handle.copy_to_fpga(mem_a)
+    handle.copy_to_fpga(mem_b)
+    ra = handle.call("SysA", "my_accel", 1, addend=10, vec_addr=mem_a.fpga_addr, n_eles=64)
+    rb = handle.call("SysB", "my_accel", 0, addend=20, vec_addr=mem_b.fpga_addr, n_eles=64)
+    ra.get()
+    rb.get()
+    handle.copy_from_fpga(mem_a)
+    handle.copy_from_fpga(mem_b)
+    assert (np.frombuffer(mem_a.read(), dtype=np.uint32) == 10).all()
+    assert (np.frombuffer(mem_b.read(), dtype=np.uint32) == 20).all()
+
+
+def test_allocator_exhaustion_raises():
+    build, handle = fresh_handle()
+    from repro.runtime import AllocationError
+
+    with pytest.raises(AllocationError):
+        handle.malloc(10**15)
+
+
+def test_free_and_reuse():
+    build, handle = fresh_handle()
+    a = handle.malloc(1 << 20)
+    addr = a.fpga_addr
+    handle.free(a)
+    b = handle.malloc(1 << 20)
+    assert b.fpga_addr == addr

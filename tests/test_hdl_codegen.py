@@ -1,0 +1,135 @@
+"""Tests for the HDL IR, Verilog emission, and C++ binding generation."""
+
+import pytest
+
+from repro.codegen import binding_signature, generate_header
+from repro.command import Address, CommandSpec, EmptyAccelResponse, Field, Float32, ResponseSpec, UInt
+from repro.core import BeethovenBuild
+from repro.hdl import HdlMemory, HdlModule, emit_design, emit_module, sanitize
+from repro.kernels.vecadd import vector_add_config
+from repro.platforms import AWSF1Platform, KriaPlatform
+
+
+# ----------------------------------------------------------------------- IR
+def test_sanitize_names():
+    assert sanitize("a.b-c d") == "a_b_c_d"
+    assert sanitize("0start") == "m_0start"
+    assert sanitize("fine_name") == "fine_name"
+
+
+def test_module_port_validation():
+    mod = HdlModule("m")
+    mod.add_port("clk", "input")
+    with pytest.raises(ValueError):
+        mod.add_port("clk", "input")
+    with pytest.raises(ValueError):
+        mod.add_port("bad", "inout")
+    with pytest.raises(ValueError):
+        mod.add_port("x y", "input")
+    with pytest.raises(ValueError):
+        HdlModule("9bad")
+
+
+def test_net_redefinition_width_conflict():
+    mod = HdlModule("m")
+    mod.add_net("w", 8)
+    mod.add_net("w", 8)  # same width is fine
+    with pytest.raises(ValueError):
+        mod.add_net("w", 16)
+
+
+def test_instance_connection_validation():
+    child = HdlModule("child")
+    child.add_port("clk", "input")
+    top = HdlModule("top")
+    top.add_port("clk", "input")
+    top.instantiate(child, "u0", {"clk": "clk"})
+    with pytest.raises(ValueError):
+        top.instantiate(child, "u0", {})  # duplicate instance name
+    with pytest.raises(ValueError):
+        top.instantiate(child, "u1", {"nope": "clk"})
+
+
+def test_walk_leaves_first():
+    leaf = HdlModule("leaf")
+    mid = HdlModule("mid")
+    mid.instantiate(leaf, "u_leaf")
+    top = HdlModule("top")
+    top.instantiate(mid, "u_mid")
+    names = [m.name for m in top.walk()]
+    assert names.index("leaf") < names.index("mid") < names.index("top")
+
+
+def test_all_memories_collects_paths():
+    core = HdlModule("core")
+    core.add_memory(HdlMemory("sp", 32, 64))
+    top = HdlModule("top")
+    top.instantiate(core, "u_core0")
+    top.instantiate(HdlModule("other"), "u_other")
+    mems = top.all_memories()
+    assert mems[0][0] == "u_core0/sp"
+
+
+# ------------------------------------------------------------------ verilog
+def test_emit_module_structure():
+    mod = HdlModule("demo", doc="a demo")
+    mod.add_port("clk", "input")
+    mod.add_port("q", "output", 32)
+    mod.add_net("w1", 16)
+    mem = HdlMemory("buf", 32, 64)
+    mem.cell_mapping = "URAM"
+    mod.add_memory(mem)
+    text = emit_module(mod)
+    assert "module demo(clk, q);" in text
+    assert "output [31:0] q;" in text
+    assert "wire [15:0] w1;" in text
+    assert '(* ram_style = "ultra" *)' in text
+    assert "reg [31:0] buf [0:63];" in text
+    assert text.strip().endswith("endmodule")
+
+
+def test_emit_design_dedupes_modules():
+    leaf = HdlModule("leaf")
+    top = HdlModule("top")
+    top.instantiate(leaf, "u0")
+    top.instantiate(leaf, "u1")
+    text = emit_design(top)
+    assert text.count("module leaf(") == 1
+
+
+def test_build_emits_valid_looking_verilog():
+    build = BeethovenBuild(vector_add_config(2), AWSF1Platform())
+    text = build.emit_verilog()
+    assert text.count("module ") == text.count("endmodule")
+    # SLR placement attributes make it into the netlist.
+    assert 'beethoven_slr' in text
+
+
+# ---------------------------------------------------------------------- C++
+def test_binding_signature_types():
+    spec = CommandSpec(
+        "my_accel",
+        (Field("addend", UInt(32)), Field("vec_addr", Address()), Field("n", UInt(20))),
+    )
+    sig = binding_signature("Sys", spec, EmptyAccelResponse(), addr_bits=34)
+    assert "response_handle<bool> my_accel(" in sig
+    assert "uint32_t addend" in sig
+    assert "const remote_ptr & vec_addr" in sig
+    assert "uint32_t n" in sig  # 20 bits -> uint32_t
+
+
+def test_binding_float_and_response_struct():
+    spec = CommandSpec("f", (Field("x", Float32()),))
+    resp = ResponseSpec("r", (Field("score", UInt(32)),))
+    sig = binding_signature("Sys", spec, resp, 34)
+    assert "response_handle<Sys_f_response>" in sig
+    assert "float x" in sig
+
+
+def test_header_reflects_platform_address_width():
+    h_f1 = generate_header(BeethovenBuild(vector_add_config(1), AWSF1Platform()).design)
+    h_kria = generate_header(BeethovenBuild(vector_add_config(1), KriaPlatform()).design)
+    assert "addr_bits=34" in h_f1
+    assert "addr_bits=40" in h_kria
+    assert "86 bits -> 1 RoCC instruction(s)" in h_f1  # 32+34+20
+    assert "92 bits -> 1 RoCC instruction(s)" in h_kria  # 32+40+20

@@ -1,0 +1,209 @@
+"""Functional tests: MachSuite accelerator cores vs software references.
+
+Small problem sizes keep the cycle simulations fast; the benchmarks use the
+schedule models for full Table-I sizes.
+"""
+
+import numpy as np
+
+from repro.core import BeethovenBuild
+from repro.kernels.machsuite import (
+    gemm_config,
+    mdknn_config,
+    nw_config,
+    stencil2d_config,
+    stencil3d_config,
+)
+from repro.kernels.machsuite.reference import (
+    gemm,
+    md_knn,
+    nw,
+    nw_score_matrix,
+    stencil2d,
+    stencil3d,
+)
+from repro.platforms import SimulationPlatform
+from repro.runtime import FpgaHandle
+
+RNG = np.random.default_rng(12345)
+
+
+def make_handle(config):
+    build = BeethovenBuild(config, SimulationPlatform())
+    return FpgaHandle(build.design)
+
+
+def upload(handle, data: bytes):
+    ptr = handle.malloc(max(len(data), 64))
+    ptr.write(data)
+    handle.copy_to_fpga(ptr)
+    return ptr
+
+
+# ------------------------------------------------------------------ references
+def test_reference_gemm_identity():
+    a = RNG.integers(-100, 100, (8, 8)).astype(np.int32)
+    eye = np.eye(8, dtype=np.int32)
+    assert (gemm(a, eye) == a).all()
+
+
+def test_reference_nw_identical_strings():
+    score, out_a, out_b = nw(b"ACGT", b"ACGT")
+    assert score == 4
+    assert out_a == out_b == b"ACGT"
+
+
+def test_reference_nw_gap():
+    score, out_a, out_b = nw(b"ACGT", b"AGT")
+    assert out_a == b"ACGT"
+    assert out_b in (b"A-GT", b"AG-T")
+    assert score == 3 - 1
+
+
+def test_reference_nw_score_matrix_monotone_header():
+    score = nw_score_matrix(b"AAA", b"AAA")
+    assert list(score[0, :]) == [0, -1, -2, -3]
+
+
+def test_reference_stencil2d_passthrough_borders():
+    grid = RNG.integers(-50, 50, (6, 6)).astype(np.int32)
+    coeffs = np.zeros((3, 3), dtype=np.int32)
+    out = stencil2d(grid, coeffs)
+    assert (out[0, :] == grid[0, :]).all()
+    assert (out[1:-1, 1:-1] == 0).all()
+
+
+def test_reference_stencil3d_uniform_grid():
+    grid = np.full((4, 4, 4), 2, dtype=np.int32)
+    out = stencil3d(grid, 1, 1)
+    assert out[1, 1, 1] == 2 * 1 + 6 * 2
+
+
+def test_reference_mdknn_symmetric_pair():
+    # Two atoms mutually nearest: forces are equal and opposite.
+    pos = np.array([[0, 0, 0], [1, 0, 0]], dtype=np.float32)
+    nl = np.array([[1], [0]], dtype=np.int32)
+    forces = md_knn(pos, nl)
+    assert np.allclose(forces[0], -forces[1], rtol=1e-5)
+
+
+# ------------------------------------------------------------------- hardware
+def test_gemm_core_matches_reference():
+    n = 16
+    handle = make_handle(gemm_config())
+    a = RNG.integers(-1000, 1000, (n, n)).astype(np.int32)
+    b = RNG.integers(-1000, 1000, (n, n)).astype(np.int32)
+    pa, pb = upload(handle, a.tobytes()), upload(handle, b.tobytes())
+    pc = handle.malloc(n * n * 4)
+    handle.call(
+        "Gemm", "gemm", 0,
+        a_addr=pa.fpga_addr, b_addr=pb.fpga_addr, c_addr=pc.fpga_addr, n=n,
+    ).get()
+    handle.copy_from_fpga(pc)
+    got = np.frombuffer(pc.read(), dtype=np.int32).reshape(n, n)
+    assert (got == gemm(a, b)).all()
+
+
+def test_nw_core_matches_reference():
+    n = 32
+    handle = make_handle(nw_config())
+    seq_a = bytes(RNG.integers(65, 69, n).astype(np.uint8))  # A..D alphabet
+    seq_b = bytes(RNG.integers(65, 69, n).astype(np.uint8))
+    pa, pb = upload(handle, seq_a), upload(handle, seq_b)
+    pout = handle.malloc(4 * n)
+    resp = handle.call(
+        "Nw", "nw", 0,
+        seq_a_addr=pa.fpga_addr, seq_b_addr=pb.fpga_addr,
+        out_addr=pout.fpga_addr, n=n,
+    ).get()
+    score, out_a, out_b = nw(seq_a, seq_b)
+    assert resp["score"] == score & 0xFFFFFFFF
+    handle.copy_from_fpga(pout)
+    blob = pout.read()
+    assert blob[: 2 * n].rstrip(b"-") == out_a.rstrip(b"-")
+    assert blob[2 * n :].rstrip(b"-") == out_b.rstrip(b"-")
+
+
+def test_stencil2d_core_matches_reference():
+    n = 16
+    handle = make_handle(stencil2d_config())
+    grid = RNG.integers(-100, 100, (n, n)).astype(np.int32)
+    coeffs = RNG.integers(-4, 5, (3, 3)).astype(np.int32)
+    pg, pc = upload(handle, grid.tobytes()), upload(handle, coeffs.tobytes())
+    po = handle.malloc(n * n * 4)
+    handle.call(
+        "Stencil2d", "stencil2d", 0,
+        grid_addr=pg.fpga_addr, coeff_addr=pc.fpga_addr, out_addr=po.fpga_addr, n=n,
+    ).get()
+    handle.copy_from_fpga(po)
+    got = np.frombuffer(po.read(), dtype=np.int32).reshape(n, n)
+    assert (got == stencil2d(grid, coeffs)).all()
+
+
+def test_stencil3d_core_matches_reference():
+    n = 8
+    handle = make_handle(stencil3d_config())
+    grid = RNG.integers(-100, 100, (n, n, n)).astype(np.int32)
+    pg = upload(handle, grid.tobytes())
+    po = handle.malloc(n**3 * 4)
+    handle.call(
+        "Stencil3d", "stencil3d", 0,
+        grid_addr=pg.fpga_addr, out_addr=po.fpga_addr, n=n, c0=3, c1=2,
+    ).get()
+    handle.copy_from_fpga(po)
+    got = np.frombuffer(po.read(), dtype=np.int32).reshape(n, n, n)
+    assert (got == stencil3d(grid, 3, 2)).all()
+
+
+def test_mdknn_core_matches_reference():
+    n, k = 16, 4
+    handle = make_handle(mdknn_config())
+    pos = RNG.uniform(-2, 2, (n, 3)).astype(np.float32)
+    nl = np.stack(
+        [RNG.permutation(np.delete(np.arange(n), i))[:k] for i in range(n)]
+    ).astype(np.int32)
+    pp, pn = upload(handle, pos.tobytes()), upload(handle, nl.tobytes())
+    pf = handle.malloc(n * 12)
+    handle.call(
+        "MdKnn", "md_knn", 0,
+        pos_addr=pp.fpga_addr, nl_addr=pn.fpga_addr, force_addr=pf.fpga_addr,
+        n_atoms=n, k=k,
+    ).get()
+    handle.copy_from_fpga(pf)
+    got = np.frombuffer(pf.read(), dtype=np.float32).reshape(n, 3)
+    assert np.allclose(got, md_knn(pos, nl), rtol=1e-5, atol=1e-6)
+
+
+def test_gemm_compute_cycles_scale_with_unroll():
+    from repro.kernels.machsuite.gemm import GemmCore
+
+    build1 = BeethovenBuild(gemm_config(unroll_i=1, unroll_j=1), SimulationPlatform())
+    build16 = BeethovenBuild(gemm_config(unroll_i=4, unroll_j=4), SimulationPlatform())
+    c1 = build1.design.all_cores()[0].core.compute_cycles(64)
+    c16 = build16.design.all_cores()[0].core.compute_cycles(64)
+    assert c1 > 15 * c16 / 16  # roughly 16x fewer cycles with 16 lanes
+
+
+def test_multicore_gemm_distributes_work():
+    n = 8
+    handle = make_handle(gemm_config(n_cores=2))
+    mats = []
+    futures = []
+    for core in range(2):
+        a = RNG.integers(-50, 50, (n, n)).astype(np.int32)
+        b = RNG.integers(-50, 50, (n, n)).astype(np.int32)
+        pa, pb = upload(handle, a.tobytes()), upload(handle, b.tobytes())
+        pc = handle.malloc(n * n * 4)
+        futures.append(
+            handle.call(
+                "Gemm", "gemm", core,
+                a_addr=pa.fpga_addr, b_addr=pb.fpga_addr, c_addr=pc.fpga_addr, n=n,
+            )
+        )
+        mats.append((a, b, pc))
+    for fut in futures:
+        fut.get()
+    for a, b, pc in mats:
+        handle.copy_from_fpga(pc)
+        got = np.frombuffer(pc.read(), dtype=np.int32).reshape(n, n)
+        assert (got == gemm(a, b)).all()

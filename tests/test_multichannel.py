@@ -1,0 +1,159 @@
+"""Multi-channel memory configurations (n_channels > 1) and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.command.packing import Address, CommandSpec, EmptyAccelResponse, Field, UInt
+from repro.core import (
+    AcceleratorConfig,
+    BeethovenBuild,
+    ReadChannelConfig,
+    WriteChannelConfig,
+)
+from repro.core.accelerator import AcceleratorCore
+from repro.memory.types import ReadRequest, WriteRequest
+from repro.platforms import SimulationPlatform
+from repro.runtime import FpgaHandle
+
+
+class InterleaveCore(AcceleratorCore):
+    """Reads two streams through one named channel group (idx 0 and 1) and
+    writes their element-wise XOR."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.io = self.beethoven_io(
+            CommandSpec(
+                "xor",
+                (
+                    Field("a_addr", Address()),
+                    Field("b_addr", Address()),
+                    Field("out_addr", Address()),
+                    Field("n_bytes", UInt(20)),
+                ),
+            ),
+            EmptyAccelResponse(),
+        )
+        self.in_a = self.get_reader_module("ins", 0)
+        self.in_b = self.get_reader_module("ins", 1)
+        self.out = self.get_writer_module("outs")
+        self._active = False
+
+    def tick(self, cycle):
+        io = self.io
+        if (
+            not self._active
+            and io.req.can_pop()
+            and self.in_a.request.can_push()
+            and self.in_b.request.can_push()
+            and self.out.request.can_push()
+        ):
+            cmd = io.req.pop()
+            self.in_a.request.push(ReadRequest(cmd["a_addr"], cmd["n_bytes"]))
+            self.in_b.request.push(ReadRequest(cmd["b_addr"], cmd["n_bytes"]))
+            self.out.request.push(WriteRequest(cmd["out_addr"], cmd["n_bytes"]))
+            self._active = True
+        if (
+            self._active
+            and self.in_a.data.can_pop()
+            and self.in_b.data.can_pop()
+            and self.out.data.can_push()
+        ):
+            a = self.in_a.data.pop()
+            b = self.in_b.data.pop()
+            self.out.data.push(bytes(x ^ y for x, y in zip(a, b)))
+        if self._active and self.out.done.can_pop() and io.resp.can_push():
+            self.out.done.pop()
+            io.resp.push({})
+            self._active = False
+
+
+def xor_config():
+    return AcceleratorConfig(
+        name="Xor",
+        n_cores=1,
+        module_constructor=InterleaveCore,
+        memory_channel_config=(
+            ReadChannelConfig("ins", data_bytes=16, n_channels=2),
+            WriteChannelConfig("outs", data_bytes=16),
+        ),
+    )
+
+
+def test_two_channel_reader_group():
+    build = BeethovenBuild(xor_config(), SimulationPlatform())
+    handle = FpgaHandle(build.design)
+    rng = np.random.default_rng(5)
+    a = rng.integers(0, 256, 2048).astype(np.uint8)
+    b = rng.integers(0, 256, 2048).astype(np.uint8)
+    pa, pb, po = handle.malloc(2048), handle.malloc(2048), handle.malloc(2048)
+    pa.write(a.tobytes())
+    pb.write(b.tobytes())
+    handle.copy_to_fpga(pa)
+    handle.copy_to_fpga(pb)
+    handle.call(
+        "Xor", "xor", 0,
+        a_addr=pa.fpga_addr, b_addr=pb.fpga_addr, out_addr=po.fpga_addr, n_bytes=2048,
+    ).get()
+    handle.copy_from_fpga(po)
+    got = np.frombuffer(po.read(), dtype=np.uint8)
+    assert (got == (a ^ b)).all()
+
+
+def test_channel_index_out_of_range():
+    class BadCore(InterleaveCore):
+        def __init__(self, ctx):
+            AcceleratorCore.__init__(self, ctx)
+            self.beethoven_io(
+                CommandSpec("x", (Field("a", UInt(8)),)), EmptyAccelResponse()
+            )
+            self.get_reader_module("ins", 5)  # only 2 channels exist
+
+        def tick(self, cycle):
+            pass
+
+    cfg = AcceleratorConfig(
+        name="Bad",
+        n_cores=1,
+        module_constructor=BadCore,
+        memory_channel_config=(ReadChannelConfig("ins", data_bytes=16, n_channels=2),),
+    )
+    with pytest.raises(KeyError):
+        BeethovenBuild(cfg, SimulationPlatform())
+
+
+def test_unknown_channel_name():
+    class BadCore(AcceleratorCore):
+        def __init__(self, ctx):
+            super().__init__(ctx)
+            self.beethoven_io(
+                CommandSpec("x", (Field("a", UInt(8)),)), EmptyAccelResponse()
+            )
+            self.get_writer_module("nonexistent")
+
+        def tick(self, cycle):
+            pass
+
+    cfg = AcceleratorConfig(name="Bad", n_cores=1, module_constructor=BadCore)
+    with pytest.raises(KeyError):
+        BeethovenBuild(cfg, SimulationPlatform())
+
+
+def test_n_channels_validation():
+    with pytest.raises(ValueError):
+        ReadChannelConfig("r", data_bytes=4, n_channels=0)
+    with pytest.raises(ValueError):
+        WriteChannelConfig("w", data_bytes=4, n_channels=-1)
+
+
+def test_duplicate_channel_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        AcceleratorConfig(
+            name="Dup",
+            n_cores=1,
+            module_constructor=InterleaveCore,
+            memory_channel_config=(
+                ReadChannelConfig("same", data_bytes=4),
+                WriteChannelConfig("same", data_bytes=4),
+            ),
+        )

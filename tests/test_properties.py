@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asic import ASAP7_MACROS, MemoryCompiler
+from repro.command import CommandSpec, Field, RoccInstruction, UInt
+from repro.dram import MemoryStore
+from repro.fpga import bram_count, uram_count
+from repro.fpga.memcells import BRAM_BITS, URAM_BITS
+from repro.kernels.attention.fixedpoint import exp2_fixed
+from repro.memory import split_into_bursts
+from repro.runtime import FirstFitAllocator
+from repro.sim import ChannelQueue
+
+# ------------------------------------------------------------------ channels
+@settings(max_examples=60)
+@given(
+    capacity=st.integers(1, 8),
+    ops=st.lists(st.sampled_from(["push", "pop", "commit"]), max_size=60),
+)
+def test_channel_queue_invariants(capacity, ops):
+    """Occupancy never exceeds capacity; pops return pushes in FIFO order."""
+    chan = ChannelQueue(capacity, "prop")
+    pushed, popped = [], []
+    counter = 0
+    for op in ops:
+        if op == "push" and chan.can_push():
+            chan.push(counter)
+            pushed.append(counter)
+            counter += 1
+        elif op == "pop" and chan.can_pop():
+            popped.append(chan.pop())
+        elif op == "commit":
+            chan.commit()
+        assert len(chan._items) <= capacity
+    chan.commit()
+    while chan.can_pop():
+        popped.append(chan.pop())
+        chan.commit()
+    assert popped == pushed[: len(popped)]
+    assert popped == sorted(popped)
+
+
+# -------------------------------------------------------------------- bursts
+@settings(max_examples=100)
+@given(
+    addr_blocks=st.integers(0, 10_000),
+    length=st.integers(1, 300_000),
+    max_beats=st.integers(1, 64),
+)
+def test_split_into_bursts_properties(addr_blocks, length, max_beats):
+    beat = 64
+    addr = addr_blocks * beat
+    segs = split_into_bursts(addr, length, beat, max_beats)
+    # Exact coverage, in order, no overlap.
+    assert segs[0][0] == addr
+    total = 0
+    pos = addr
+    for seg_addr, beats, payload in segs:
+        assert seg_addr == pos
+        assert 1 <= beats <= max_beats
+        assert payload <= beats * beat
+        assert (seg_addr // 4096) == ((seg_addr + beats * beat - 1) // 4096)
+        pos += payload
+        total += payload
+    assert total == length
+
+
+# --------------------------------------------------------------------- store
+@settings(max_examples=60)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 2000), st.binary(min_size=1, max_size=200)),
+        max_size=12,
+    )
+)
+def test_memory_store_matches_flat_model(writes):
+    store = MemoryStore(block_bytes=64)
+    flat = bytearray(4096)
+    for addr, data in writes:
+        store.write(addr, data)
+        flat[addr : addr + len(data)] = data
+    assert store.read(0, 4096) == bytes(flat)
+
+
+# ---------------------------------------------------------------------- RoCC
+@settings(max_examples=80)
+@given(
+    system_id=st.integers(0, 255),
+    core_id=st.integers(0, 255),
+    funct7=st.integers(0, 127),
+    rs1=st.integers(0, 2**64 - 1),
+    rs2=st.integers(0, 2**64 - 1),
+    xd=st.booleans(),
+    rd=st.integers(0, 31),
+)
+def test_rocc_roundtrip_property(system_id, core_id, funct7, rs1, rs2, xd, rd):
+    inst = RoccInstruction(system_id, core_id, funct7, rs1, rs2, xd, rd)
+    assert RoccInstruction.decode_words(inst.encode_words()) == inst
+
+
+@settings(max_examples=50)
+@given(
+    widths=st.lists(st.integers(1, 64), min_size=1, max_size=8),
+    addr_bits=st.sampled_from([32, 34, 40, 64]),
+    data=st.data(),
+)
+def test_command_packing_roundtrip_property(widths, addr_bits, data):
+    fields = tuple(Field(f"f{i}", UInt(w)) for i, w in enumerate(widths))
+    spec = CommandSpec("prop", fields)
+    values = {
+        f"f{i}": data.draw(st.integers(0, 2**w - 1)) for i, w in enumerate(widths)
+    }
+    assert spec.unpack(spec.pack(values, addr_bits), addr_bits) == values
+
+
+# ----------------------------------------------------------------- allocator
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(1, 5000)),
+            st.tuples(st.just("free"), st.integers(0, 20)),
+        ),
+        max_size=40,
+    )
+)
+def test_allocator_no_overlap_property(ops):
+    alloc = FirstFitAllocator(0, 1 << 16, alignment=64)
+    live = {}
+    for op, arg in ops:
+        if op == "malloc":
+            try:
+                addr = alloc.malloc(arg)
+            except MemoryError:
+                continue
+            # No overlap with any live allocation.
+            for a, s in live.items():
+                assert addr + arg <= a or a + s <= addr
+            live[addr] = arg
+        elif live:
+            key = sorted(live)[arg % len(live)]
+            alloc.free(key)
+            del live[key]
+    # Conservation: free bytes + aligned live bytes == heap size.
+    aligned = sum((s + 63) // 64 * 64 for s in live.values())
+    assert alloc.free_bytes + aligned == 1 << 16
+
+
+# ------------------------------------------------------------------ memcells
+@settings(max_examples=80)
+@given(width=st.integers(1, 2048), depth=st.integers(1, 100_000))
+def test_cell_counts_cover_demand(width, depth):
+    bits = width * depth
+    assert bram_count(width, depth) * BRAM_BITS >= bits
+    assert uram_count(width, depth) * URAM_BITS >= bits
+
+
+# ------------------------------------------------------------ memory compiler
+@settings(max_examples=60)
+@given(width=st.integers(1, 1024), depth=st.integers(1, 20_000))
+def test_memory_compiler_covers_request(width, depth):
+    plan = MemoryCompiler(ASAP7_MACROS).compile(width, depth)
+    assert plan.lanes * plan.macro.width_bits >= width
+    assert plan.banks * plan.macro.depth >= depth
+    assert 0 < plan.efficiency <= 1.0
+
+
+# -------------------------------------------------------------- fixed point
+@settings(max_examples=40)
+@given(
+    xs=st.lists(st.integers(-40 * (1 << 18), 0), min_size=2, max_size=50),
+)
+def test_exp2_fixed_monotone_property(xs):
+    arr = np.array(sorted(xs), dtype=np.int64)
+    ys = exp2_fixed(arr, 18)
+    assert (np.diff(ys) >= 0).all()
+    assert (ys >= 0).all()
+    assert ys.max() <= 1 << 15

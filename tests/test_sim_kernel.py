@@ -1,0 +1,133 @@
+"""Unit tests for the cycle-level simulation kernel."""
+
+import pytest
+
+from repro.sim import ChannelQueue, Component, SimulationError, Simulator
+
+
+class Producer(Component):
+    def __init__(self, chan, count):
+        super().__init__("producer")
+        self.chan = chan
+        self.remaining = count
+        self.sent = 0
+
+    def tick(self, cycle):
+        if self.remaining and self.chan.can_push():
+            self.chan.push(self.sent)
+            self.sent += 1
+            self.remaining -= 1
+
+
+class Consumer(Component):
+    def __init__(self, chan):
+        super().__init__("consumer")
+        self.chan = chan
+        self.received = []
+
+    def tick(self, cycle):
+        if self.chan.can_pop():
+            self.received.append(self.chan.pop())
+
+
+def test_channel_fifo_order():
+    chan = ChannelQueue(4, "c")
+    sim = Simulator()
+    sim.register_channel(chan)
+    prod = sim.add(Producer(chan, 10))
+    cons = sim.add(Consumer(chan))
+    sim.run(100, until=lambda: len(cons.received) == 10)
+    assert cons.received == list(range(10))
+
+
+def test_push_not_visible_same_cycle():
+    chan = ChannelQueue(4, "c")
+    chan.push(1)
+    assert not chan.can_pop()  # becomes visible only after commit
+    chan.commit()
+    assert chan.can_pop()
+    assert chan.pop() == 1
+
+
+def test_pop_frees_space_next_cycle_only():
+    chan = ChannelQueue(1, "c")
+    chan.push(1)
+    chan.commit()
+    assert chan.pop() == 1
+    assert not chan.can_push()  # space frees at commit
+    chan.commit()
+    assert chan.can_push()
+
+
+def test_order_independence():
+    """Producer-before-consumer and consumer-before-producer give identical
+    transfer schedules."""
+
+    def run(order):
+        chan = ChannelQueue(2, "c")
+        prod = Producer(chan, 5)
+        cons = Consumer(chan)
+        sim = Simulator()
+        sim.register_channel(chan)
+        for comp in (prod, cons) if order == "pc" else (cons, prod):
+            sim.add(comp)
+        arrival = []
+        while len(cons.received) < 5 and sim.cycle < 50:
+            before = len(cons.received)
+            sim.step()
+            if len(cons.received) > before:
+                arrival.append(sim.cycle)
+        return arrival
+
+    assert run("pc") == run("cp")
+
+
+def test_push_overflow_raises():
+    chan = ChannelQueue(1, "c")
+    chan.push(1)
+    with pytest.raises(SimulationError):
+        chan.push(2)
+
+
+def test_pop_empty_raises():
+    chan = ChannelQueue(1, "c")
+    with pytest.raises(SimulationError):
+        chan.pop()
+
+
+def test_peek_offsets():
+    chan = ChannelQueue(4, "c")
+    for i in range(3):
+        chan.push(i)
+    chan.commit()
+    assert chan.peek() == 0
+    assert chan.peek(2) == 2
+    chan.pop()
+    assert chan.peek() == 1
+
+
+def test_run_until_deadlock_detection():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run(10, until=lambda: False)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    reached = sim.run(100, until=lambda: sim.cycle == 7)
+    assert reached == 7
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ChannelQueue(0, "bad")
+
+
+def test_len_reflects_pops():
+    chan = ChannelQueue(4, "c")
+    chan.push(1)
+    chan.push(2)
+    chan.commit()
+    assert len(chan) == 2
+    chan.pop()
+    assert len(chan) == 1
