@@ -9,10 +9,17 @@ long-latency kernels), so the ideal-vs-measured gap is widest for the
 lowest-latency kernels, as in the paper.
 """
 
+import time
+
 import pytest
 
+from repro.baselines.delay_core import delay_config
+from repro.core.build import BeethovenBuild, BuildMode
 from repro.kernels.machsuite.fig6 import beethoven_kernel_cycles, fig6_all, render_fig6
 from repro.kernels.machsuite.workloads import TABLE1
+from repro.platforms import AWSF1Platform
+from repro.runtime import FpgaHandle
+from repro.sim import render_skip_report
 
 
 def test_table1_workloads(benchmark):
@@ -59,3 +66,41 @@ def test_fig6_machsuite(benchmark, fig6_rows):
     highest = max(latencies, key=latencies.get)
     print(f"gaps: { {k: f'{v:.1%}' for k, v in gaps.items()} }")
     assert gaps[lowest] >= gaps[highest]
+
+
+def _sparse_delay_run(fast_forward):
+    """One long-latency core on AWS F1, one command outstanding at a time —
+    the sparse configuration (low core count, long poll interval) whose
+    simulated cycles are almost entirely dead time."""
+    kernel_cycles, rounds = 50_000, 4
+    build = BeethovenBuild(
+        delay_config(1, kernel_cycles),
+        AWSF1Platform(),
+        BuildMode.Simulation,
+        fast_forward=fast_forward,
+    )
+    handle = FpgaHandle(build.design)
+    t0 = time.perf_counter()
+    latencies = []
+    for r in range(rounds):
+        fut = handle.call("Delay", "run", 0, job=r)
+        fut.get(max_cycles=10_000_000)
+        latencies.append(fut.latency_cycles)
+    wall = time.perf_counter() - t0
+    return handle.cycle, latencies, wall, build.design.sim
+
+
+def test_fast_forward_sparse_speedup():
+    """Event-skipping wins >= 3x wall clock on a sparse config, cycle-exactly."""
+    naive_cycle, naive_lat, naive_wall, naive_sim = _sparse_delay_run(False)
+    fast_cycle, fast_lat, fast_wall, fast_sim = _sparse_delay_run(True)
+    speedup = naive_wall / fast_wall
+    print()
+    print(f"naive: {naive_cycle} cycles in {naive_wall:.3f}s")
+    print(f"fast : {fast_cycle} cycles in {fast_wall:.3f}s ({speedup:.1f}x)")
+    print(render_skip_report(fast_sim))
+    assert fast_cycle == naive_cycle
+    assert fast_lat == naive_lat
+    assert naive_sim.cycles_skipped == 0
+    assert fast_sim.cycles_skipped > 0.9 * fast_cycle
+    assert speedup >= 3.0

@@ -10,13 +10,22 @@ multi-core simulations tractable for long kernels.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.command.packing import CommandSpec, EmptyAccelResponse, Field, UInt
 from repro.core.accelerator import AcceleratorCore
 from repro.core.config import AcceleratorConfig
+from repro.sim import NEVER
 
 
 class DelayCore(AcceleratorCore):
-    """Busy for ``latency_cycles`` per command, then responds."""
+    """Busy for ``latency_cycles`` per command, then responds.
+
+    The busy window is tracked as an absolute cycle (``_respond_at``) rather
+    than a decrementing counter so that the core is a genuine no-op while it
+    waits — which lets it advertise the wake-up cycle via ``next_event`` and
+    makes long-latency kernels cheap under event-skipping simulation.
+    """
 
     def __init__(self, ctx, latency_cycles: int) -> None:
         super().__init__(ctx)
@@ -25,7 +34,7 @@ class DelayCore(AcceleratorCore):
             CommandSpec("run", (Field("job", UInt(32)),)),
             EmptyAccelResponse(),
         )
-        self._busy = 0
+        self._respond_at: Optional[int] = None
         self._responding = False
         self.jobs_done = 0
 
@@ -36,17 +45,24 @@ class DelayCore(AcceleratorCore):
                 self.jobs_done += 1
                 self._responding = False
             return
-        if self._busy > 0:
-            self._busy -= 1
-            if self._busy == 0:
+        if self._respond_at is not None:
+            if cycle >= self._respond_at:
+                self._respond_at = None
                 self._responding = True
             return
         if self.io.req.can_pop():
             self.io.req.pop()
-            self._busy = self.latency_cycles
+            self._respond_at = cycle + self.latency_cycles
+
+    def next_event(self, cycle: int) -> float:
+        if self._responding:
+            return cycle
+        if self._respond_at is not None:
+            return max(cycle, self._respond_at)
+        return NEVER  # waiting for a command: purely channel-reactive
 
     def idle(self) -> bool:
-        return self._busy == 0 and not self._responding
+        return self._respond_at is None and not self._responding
 
 
 def delay_config(n_cores: int, latency_cycles: int, name: str = "Delay") -> AcceleratorConfig:

@@ -15,7 +15,7 @@ from typing import Deque, Dict, List, Tuple
 
 from repro.command.packing import CommandSpec, ResponseSpec
 from repro.command.rocc import RoccInstruction, RoccResponse
-from repro.sim import ChannelQueue, Component, SimulationError
+from repro.sim import NEVER, ChannelQueue, Component, SimulationError
 
 
 class BeethovenIO:
@@ -63,6 +63,9 @@ class CoreCommandAdapter(Component):
     def tick(self, cycle: int) -> None:
         self._unpack(cycle)
         self._pack_responses(cycle)
+
+    def next_event(self, cycle: int) -> float:
+        return NEVER  # purely reactive: unpack/pack both pop channel items
 
     def _unpack(self, cycle: int) -> None:
         if not self.cmd_in.can_pop():
@@ -168,6 +171,16 @@ class CommandRouter(Component):
         if self._resp_delay and self._resp_delay[0][0] <= cycle and self.resp_out.can_push():
             self.resp_out.push(self._resp_delay.popleft()[1])
 
+    def next_event(self, cycle: int) -> float:
+        """Sleep until the head of either delay line matures; ingest and
+        response collection are channel-reactive."""
+        nxt = NEVER
+        if self._cmd_delay:
+            nxt = min(nxt, max(cycle, self._cmd_delay[0][0]))
+        if self._resp_delay:
+            nxt = min(nxt, max(cycle, self._resp_delay[0][0]))
+        return nxt
+
 
 class MmioFrontend(Component):
     """The AXI-MMIO command/response system (paper Figure 1a).
@@ -199,3 +212,6 @@ class MmioFrontend(Component):
             for word in resp.encode_words():
                 self.resp_words.push(word)
             self.responses_forwarded += 1
+
+    def next_event(self, cycle: int) -> float:
+        return NEVER  # purely reactive: word assembly and response encode pop channels

@@ -44,11 +44,14 @@ class BeethovenBuild:
         platform: Platform,
         build_mode: BuildMode = BuildMode.Simulation,
         tracer: Optional[Tracer] = None,
+        fast_forward: bool = True,
     ) -> None:
         self.platform = platform
         self.build_mode = build_mode
         self.configs = as_config_list(configs)
-        self.design = ElaboratedDesign(self.configs, platform, tracer)
+        self.design = ElaboratedDesign(
+            self.configs, platform, tracer, fast_forward=fast_forward
+        )
         if build_mode is BuildMode.Synthesis:
             report = self.design.routability
             if report is not None and not report.feasible:

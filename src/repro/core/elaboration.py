@@ -92,11 +92,17 @@ class ResourceReport:
 class ElaboratedDesign:
     """The output of elaboration; consumed by the runtime and the reports."""
 
-    def __init__(self, configs, platform: Platform, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        configs,
+        platform: Platform,
+        tracer: Optional[Tracer] = None,
+        fast_forward: bool = True,
+    ) -> None:
         self.platform = platform
         self.configs = as_config_list(configs)
         self.tracer = tracer or Tracer()
-        self.sim = Simulator("beethoven")
+        self.sim = Simulator("beethoven", fast_forward=fast_forward, tracer=self.tracer)
         self.estimator = ResourceEstimator()
         self.systems: List[ElaboratedSystem] = []
         self.memcell_mapper: Optional[MemcellMapper] = None

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.memory.scratchpad import Memory
-from repro.sim import ChannelQueue, Component
+from repro.sim import NEVER, ChannelQueue, Component
 
 
 class IntraCoreLink:
@@ -53,6 +53,9 @@ class IntraCoreBroadcast(Component):
             for sink in self.sinks:
                 sink.chan.push((row, data))
             self.forwarded += 1
+
+    def next_event(self, cycle: int) -> float:
+        return NEVER  # purely reactive: forwarding pops the input channel
 
 
 class IntraCoreMemory(Component):
@@ -98,3 +101,13 @@ class IntraCoreMemory(Component):
                 self.mem.write(i, row, data)
                 self.writes_applied += 1
         self.mem.clock()
+
+    def next_event(self, cycle: int) -> float:
+        """``mem.clock`` only changes observable state while a read is in the
+        pipeline or parked at the output; otherwise writes arrive as channel
+        traffic and the tick is a no-op."""
+        if any(e is not None for pipe in self.mem._pipes for e in pipe) or any(
+            o is not None for o in self.mem._out
+        ):
+            return cycle
+        return NEVER

@@ -359,6 +359,45 @@ class MemoryController(Component):
             self._retire(self._id_write_pipe, axi_id, txn)
             return
 
+    # ----------------------------------------------------------- event skipping
+    def next_event(self, cycle: int) -> float:
+        """Earliest cycle this controller can make progress without new
+        channel traffic.
+
+        Refresh fires on a fixed cadence whether or not traffic is pending
+        (it mutates bank state and the refresh counter), so the hint is
+        always capped at the next refresh edge — skips can never jump over
+        one.  While column work is pending the controller stays on the naive
+        path (bank prep/bus arbitration is cheap and short-lived); the long
+        sleeps it reports are CAS-latency waits on read data maturity.
+        """
+        t = self.timing.t_refi
+        nxt = cycle if (cycle and cycle % t == 0) else (cycle // t + 1) * t
+        busy = bool(self._sched)
+        if not busy:
+            for txn in self._read_txns.values():
+                if txn.cols_enqueued < txn.length:
+                    busy = True
+                    break
+        if not busy:
+            for wtxn in self._write_txns.values():
+                if wtxn.cols_enqueued < wtxn.length and len(wtxn.wbeats) > wtxn.cols_enqueued:
+                    busy = True  # staged W data ready to enter the scheduler
+                    break
+                if wtxn.cols_done >= wtxn.length:
+                    busy = True  # B response owed
+                    break
+        if busy:
+            return cycle
+        for q in self._id_read_return.values():
+            if q:
+                txn = q[0]
+                if txn.beats_sent < txn.length:
+                    entry = txn.beats[txn.beats_sent]
+                    if entry is not None:
+                        nxt = min(nxt, max(cycle, entry[0]))
+        return nxt
+
     # ------------------------------------------------------------------ analysis
     def idle(self) -> bool:
         return (

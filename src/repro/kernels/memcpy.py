@@ -16,6 +16,7 @@ from repro.fpga.device import ResourceVector
 from repro.memory.reader import ReaderTuning
 from repro.memory.types import ReadRequest, WriteRequest
 from repro.memory.writer import WriterTuning
+from repro.sim import NEVER
 
 
 class MemcpyCore(AcceleratorCore):
@@ -62,6 +63,9 @@ class MemcpyCore(AcceleratorCore):
             self.dst_writer.done.pop()
             io.resp.push({})
             self._active = False
+
+    def next_event(self, cycle: int) -> float:
+        return NEVER  # purely reactive: command, data and done all arrive on channels
 
 
 def memcpy_config(

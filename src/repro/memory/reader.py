@@ -19,7 +19,7 @@ from typing import Deque, Dict, Optional
 from repro.axi.types import ARReq, AxiParams, AxiPort
 from repro.memory.types import ReadRequest, split_into_bursts
 from repro.noc.axi_node import bits_for
-from repro.sim import ChannelQueue, Component
+from repro.sim import NEVER, ChannelQueue, Component
 
 
 @dataclass
@@ -168,6 +168,31 @@ class Reader(Component):
         if sub.delivered >= sub.payload_bytes:
             self._order.popleft()
             self._reserved_bytes -= sub.beats * self.port.params.beat_bytes
+
+    def _deliverable(self) -> bool:
+        """Would :meth:`_deliver` push a chunk if ``data`` had space?"""
+        if not self._order:
+            return False
+        sub = self._order[0]
+        end = sub.delivered + self.data_bytes
+        if end > sub.payload_bytes:
+            return len(sub.received) >= sub.payload_bytes and sub.delivered < sub.payload_bytes
+        return len(sub.received) >= end
+
+    def next_event(self, cycle: int) -> float:
+        """AR issue is self-scheduled (issue-gap FSM); everything else —
+        request intake, R-beat collection, freed buffer space — arrives as
+        channel traffic, and delivery of already-collected bytes is flagged
+        as an immediate event."""
+        nxt = NEVER
+        if self._pending and self._in_flight < self.tuning.max_in_flight:
+            sub = self._pending[0]
+            burst_bytes = sub.beats * self.port.params.beat_bytes
+            if self._reserved_bytes + burst_bytes <= self.tuning.buffer_bytes:
+                nxt = min(nxt, max(cycle, self._next_ar_cycle))
+        if self._deliverable():
+            nxt = min(nxt, cycle)
+        return nxt
 
     # -- status ------------------------------------------------------------
     def idle(self) -> bool:

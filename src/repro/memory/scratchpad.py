@@ -16,7 +16,7 @@ from typing import Deque, List, Optional
 from repro.axi.types import AxiParams
 from repro.memory.reader import Reader, ReaderTuning
 from repro.memory.types import ReadRequest
-from repro.sim import ChannelQueue, Component
+from repro.sim import NEVER, ChannelQueue, Component
 
 
 class Memory:
@@ -167,6 +167,18 @@ class Scratchpad(Component):
         self._run_init()
         self._serve_ports()
         self.mem.clock()
+
+    def next_event(self, cycle: int) -> float:
+        """The scratchpad must tick every cycle while its read pipeline is
+        non-empty or responses are queued (``mem.clock`` advances real
+        state); otherwise it is purely channel-reactive."""
+        if (
+            any(self._reads_in_flight)
+            or any(self._resp_overflow)
+            or (self._init_active and self._init_bytes_left <= 0)
+        ):
+            return cycle
+        return NEVER
 
     def _run_init(self) -> None:
         if self.reader is None:

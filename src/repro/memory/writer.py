@@ -17,7 +17,7 @@ from typing import Deque, Dict, Optional
 from repro.axi.types import AWReq, AxiParams, AxiPort, WBeat
 from repro.memory.types import WriteRequest, split_into_bursts
 from repro.noc.axi_node import bits_for
-from repro.sim import ChannelQueue, Component
+from repro.sim import NEVER, ChannelQueue, Component
 
 
 @dataclass
@@ -213,6 +213,27 @@ class Writer(Component):
         if active.buffered >= active.req.len_bytes and active.all_done():
             self.done.push(True)
             self._requests.popleft()
+
+    def next_event(self, cycle: int) -> float:
+        """AW issue is self-scheduled (issue-gap FSM); burst release from the
+        staging buffer, W streaming of accepted bursts and the final done
+        token are immediate events on internal state; data/request intake
+        and B collection are channel traffic."""
+        nxt = NEVER
+        if self._issue_q and self._in_flight < self.tuning.max_in_flight:
+            nxt = min(nxt, max(cycle, self._next_aw_cycle))
+        if self._w_stream:
+            nxt = min(nxt, cycle)
+        if self._requests:
+            active = self._requests[0]
+            for sub in active.subs:
+                if not sub.queued:
+                    if len(self._fill_buffer) >= sub.payload_bytes:
+                        nxt = min(nxt, cycle)
+                    break
+            if active.buffered >= active.req.len_bytes and active.all_done():
+                nxt = min(nxt, cycle)
+        return nxt
 
     def idle(self) -> bool:
         return not self._requests and not self._issue_q and not self._w_stream

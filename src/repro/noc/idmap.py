@@ -17,7 +17,7 @@ from typing import Dict
 
 from repro.axi.types import ARReq, AWReq, AxiPort, BResp, RBeat
 from repro.noc.links import as_link
-from repro.sim import Component, SimulationError
+from repro.sim import NEVER, Component, SimulationError
 
 
 class IdCompressor(Component):
@@ -40,6 +40,9 @@ class IdCompressor(Component):
             self.collisions += 1
         users.add(wide_id)
         return narrow
+
+    def next_event(self, cycle: int) -> float:
+        return NEVER  # purely reactive: every action pops a channel item
 
     def tick(self, cycle: int) -> None:
         if self.up.ar.can_pop() and self.down.port.ar.can_push():

@@ -18,7 +18,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.command.rocc import RoccInstruction, RoccResponse
 from repro.command.router import MmioFrontend
 from repro.platforms.base import HostInterface
-from repro.sim import Component
+from repro.sim import NEVER, Component
 
 
 @dataclass
@@ -57,6 +57,9 @@ class RuntimeServer(Component):
         self.responses_received = 0
         self.lock_wait_cycles = 0
         self.busy_cycles = 0
+        # Per-client lock-wait samples (enqueue -> dispatch), for fairness
+        # analysis of the round-robin arbiter.
+        self.client_lock_waits: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------- host API
     def submit(
@@ -107,13 +110,29 @@ class RuntimeServer(Component):
         self._dispatch(cycle)
         self._poll(cycle)
 
+    def next_event(self, cycle: int) -> float:
+        """Next cycle the server acts: a word dispatch, a lock acquisition,
+        or a poll visit.  An idle server (no queued commands, nothing in
+        flight, no waiters) only wakes on a new host submission, which the
+        host performs between run calls — so it reports :data:`NEVER`."""
+        nxt = NEVER
+        if self._current is not None:
+            nxt = min(nxt, max(cycle, self._next_word_cycle))
+        elif any(self._queues.values()):
+            nxt = min(nxt, max(cycle, self._lock_until))
+        if any(self._waiters.values()):
+            nxt = min(nxt, max(cycle, self._next_poll))
+        return nxt
+
     def _dispatch(self, cycle: int) -> None:
         if self._current is None and cycle >= self._lock_until:
             self._current = self._pop_next()
             if self._current is None:
                 return
             self._current.dispatch_start = cycle
-            self.lock_wait_cycles += max(0, cycle - self._current.enqueue_cycle)
+            wait = max(0, cycle - self._current.enqueue_cycle)
+            self.lock_wait_cycles += wait
+            self.client_lock_waits.setdefault(self._current.client, []).append(wait)
             self._words_left = list(self._current.words)
             # Lock acquisition + per-command bookkeeping cost.
             self._next_word_cycle = cycle + self.host.command_lock_cycles

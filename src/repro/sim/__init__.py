@@ -1,14 +1,23 @@
 """Cycle-level simulation kernel used by every Beethoven substrate model."""
 
-from repro.sim.kernel import ChannelQueue, Component, SimulationError, Simulator
-from repro.sim.trace import NULL_TRACER, TraceEvent, Tracer
+from repro.sim.kernel import NEVER, ChannelQueue, Component, SimulationError, Simulator
+from repro.sim.trace import (
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    render_skip_report,
+    skip_summary,
+)
 
 __all__ = [
     "ChannelQueue",
     "Component",
+    "NEVER",
     "SimulationError",
     "Simulator",
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "render_skip_report",
+    "skip_summary",
 ]

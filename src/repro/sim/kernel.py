@@ -17,6 +17,10 @@ from typing import Any, Callable, Generic, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
 
+#: Sentinel a :meth:`Component.next_event` may return meaning "I have no
+#: self-scheduled future work; only new channel traffic can wake me".
+NEVER = float("inf")
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal channel usage or a wedged simulation."""
@@ -60,10 +64,13 @@ class ChannelQueue(Generic[T]):
         return self._pop_count < len(self._items)
 
     def peek(self, offset: int = 0) -> T:
-        idx = self._pop_count + offset
-        if idx >= len(self._items):
-            raise SimulationError(f"peek past end of channel {self.name!r}")
-        return self._items[idx]
+        # The visible window is [_pop_count, len(_items)): items popped this
+        # cycle are already spoken for, items staged this cycle are not yet
+        # visible.  A negative offset would reach back into staged pops, so
+        # peek enforces the same window ``__len__``/``can_pop`` advertise.
+        if offset < 0 or offset >= len(self):
+            raise SimulationError(f"peek outside visible window of channel {self.name!r}")
+        return self._items[self._pop_count + offset]
 
     def pop(self) -> T:
         if not self.can_pop():
@@ -84,6 +91,17 @@ class ChannelQueue(Generic[T]):
         if self._staged:
             self._items.extend(self._staged)
             self._staged.clear()
+
+    def credit_idle_cycles(self, n: int) -> None:
+        """Account ``n`` elided commits during a fast-forward.
+
+        Skipped cycles carry no staged traffic, so each elided commit would
+        have observed the current occupancy unchanged; crediting them keeps
+        ``mean_occupancy`` (and every cycle-normalised statistic built on
+        ``cycles_observed``) exactly equal to a naively stepped run.
+        """
+        self.occupancy_accum += len(self._items) * n
+        self.cycles_observed += n
 
     def __len__(self) -> int:
         """Occupancy visible to consumers this cycle."""
@@ -109,20 +127,55 @@ class Component:
         """Advance one cycle; read channel state, stage pushes/pops."""
         raise NotImplementedError
 
+    def next_event(self, cycle: int) -> Optional[float]:
+        """Earliest cycle >= ``cycle`` at which this component can make
+        progress assuming no new channel traffic arrives, or :data:`NEVER`
+        if only channel traffic can wake it, or ``None`` (the safe default)
+        for "tick me every cycle".
+
+        The contract backing event-skipping: when a component returns a hint
+        ``h``, ticking it at any cycle in ``[cycle, h)`` with every
+        registered channel empty must be a no-op (no pushes, no pops, no
+        state or statistics change).  Components whose ``tick`` mutates
+        state unconditionally (countdowns, pipelines) must either return
+        ``None`` or keep their timing in absolute cycles.
+        """
+        return None
+
     def channels(self) -> Iterable[ChannelQueue[Any]]:
         """Channels owned by this component (auto-registered)."""
         return [v for v in vars(self).values() if isinstance(v, ChannelQueue)]
 
 
 class Simulator:
-    """Owns the clock; ticks components and commits channels each cycle."""
+    """Owns the clock; ticks components and commits channels each cycle.
 
-    def __init__(self, name: str = "sim") -> None:
+    With ``fast_forward=True``, :meth:`run` skips over provably dead windows:
+    whenever every channel is empty after a commit and every component
+    returns a :meth:`Component.next_event` hint, the clock jumps straight to
+    the earliest hint, crediting the elided cycles into every channel's
+    occupancy statistics so the run stays cycle-identical to naive stepping.
+    A single component returning ``None`` (the default) vetoes skipping, so
+    unhinted user cores are always safe.
+    """
+
+    def __init__(
+        self,
+        name: str = "sim",
+        fast_forward: bool = False,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
         self.name = name
         self.cycle = 0
+        self.fast_forward = fast_forward
+        self.tracer = tracer
         self._components: List[Component] = []
         self._channels: List[ChannelQueue[Any]] = []
         self._channel_ids = set()
+        self._quiescent = False
+        # Skip accounting, surfaced by :func:`repro.sim.trace.skip_summary`.
+        self.cycles_skipped = 0
+        self.skip_events = 0
 
     def add(self, component: Component) -> Component:
         self._components.append(component)
@@ -139,8 +192,12 @@ class Simulator:
     def step(self) -> None:
         for component in self._components:
             component.tick(self.cycle)
+        quiescent = True
         for chan in self._channels:
             chan.commit()
+            if chan._items:
+                quiescent = False
+        self._quiescent = quiescent
         self.cycle += 1
 
     def run(
@@ -152,14 +209,60 @@ class Simulator:
         budget is exhausted.  Returns the cycle count reached.  Raises
         :class:`SimulationError` when the budget runs out while a predicate is
         pending, because that almost always means the model deadlocked.
+
+        When fast-forwarding, ``until`` must be a function of model state
+        (channel/component contents), not of the raw cycle counter: skipped
+        cycles are exactly the ones in which no model state changes, so a
+        state predicate is evaluated at every cycle where its value could
+        flip — but a predicate on ``sim.cycle`` itself could fire inside a
+        skipped window and be missed.
         """
         deadline = self.cycle + max_cycles
         while self.cycle < deadline:
             if until is not None and until():
                 return self.cycle
             self.step()
+            if (
+                self.fast_forward
+                and self._quiescent
+                and self.cycle < deadline
+                # Never skip once the predicate holds: the caller must observe
+                # the first satisfying cycle, not some later wake-up.
+                and (until is None or not until())
+            ):
+                self._try_fast_forward(deadline, to_deadline_ok=until is None)
         if until is not None and not until():
             raise SimulationError(
                 f"simulation {self.name!r} did not converge in {max_cycles} cycles"
             )
         return self.cycle
+
+    # -- event skipping -----------------------------------------------------
+    def _try_fast_forward(self, deadline: int, to_deadline_ok: bool) -> None:
+        """Jump to the earliest pending component event, if one is provable."""
+        target = NEVER
+        for component in self._components:
+            hint = component.next_event(self.cycle)
+            if hint is None:
+                return  # unhinted component: must tick every cycle
+            if hint < target:
+                target = hint
+        if target == NEVER:
+            # Nothing self-scheduled anywhere.  With no predicate pending the
+            # remaining cycles are provably dead, so jump to the deadline;
+            # with a predicate we keep naive stepping (the budget-exhausted
+            # error path must observe the same cycles it would naively).
+            if not to_deadline_ok:
+                return
+            target = deadline
+        target = min(int(target), deadline)
+        if target <= self.cycle:
+            return
+        skipped = target - self.cycle
+        for chan in self._channels:
+            chan.credit_idle_cycles(skipped)
+        self.cycles_skipped += skipped
+        self.skip_events += 1
+        if self.tracer is not None:
+            self.tracer.record(self.cycle, "sim", "fast_forward", skipped)
+        self.cycle = target

@@ -58,3 +58,35 @@ class Tracer:
 
 #: A process-wide null tracer models can default to.
 NULL_TRACER = Tracer(enabled=False)
+
+
+def skip_summary(sim) -> Dict[str, float]:
+    """Event-skipping counters of a :class:`~repro.sim.Simulator` run.
+
+    ``cycles_total`` counts simulated time, ``cycles_stepped`` the cycles the
+    kernel actually ticked; their ratio is the upper bound on the wall-clock
+    speedup event-skipping bought.  All counters are exact regardless of
+    whether fast-forward was enabled (they are simply zero when it was not).
+    """
+    stepped = sim.cycle - sim.cycles_skipped
+    return {
+        "cycles_total": sim.cycle,
+        "cycles_stepped": stepped,
+        "cycles_skipped": sim.cycles_skipped,
+        "skip_events": sim.skip_events,
+        "skip_fraction": sim.cycles_skipped / sim.cycle if sim.cycle else 0.0,
+        "mean_skip_length": (
+            sim.cycles_skipped / sim.skip_events if sim.skip_events else 0.0
+        ),
+    }
+
+
+def render_skip_report(sim) -> str:
+    """One-line human summary of :func:`skip_summary` for benchmark output."""
+    s = skip_summary(sim)
+    return (
+        f"sim {sim.name!r}: {s['cycles_total']:.0f} cycles simulated, "
+        f"{s['cycles_stepped']:.0f} stepped / {s['cycles_skipped']:.0f} skipped "
+        f"({s['skip_fraction']:.1%}) in {s['skip_events']:.0f} jumps "
+        f"(mean {s['mean_skip_length']:.1f} cycles)"
+    )

@@ -43,8 +43,13 @@ def build_memory_testbench(
     controller_params: Optional[AxiParams] = None,
     child_id_bits: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    fast_forward: bool = True,
 ) -> MemoryTestbench:
-    """Wire ``master_ports`` through a tree network to a DRAM controller."""
+    """Wire ``master_ports`` through a tree network to a DRAM controller.
+
+    ``fast_forward`` enables the event-skipping kernel (cycle-exact; pass
+    ``False`` to force the naive cycle-by-cycle schedule).
+    """
     tracer = tracer or Tracer()
     params = controller_params or AxiParams(beat_bytes=timing.col_bytes)
     slave_port = AxiPort(params, "mem", depth=8)
@@ -52,7 +57,7 @@ def build_memory_testbench(
     mport = MonitoredAxiPort(slave_port, monitor)
     controller = MemoryController(mport, timing)
 
-    sim = Simulator()
+    sim = Simulator(fast_forward=fast_forward, tracer=tracer)
     sim.add(controller)
     for chan in slave_port.channels():
         sim.register_channel(chan)

@@ -46,6 +46,45 @@ def test_both_clients_complete_work():
         assert (np.frombuffer(mem.read(), dtype=np.uint32) == i + 1).all()
 
 
+def test_round_robin_lock_wait_fairness():
+    """Three clients bursting identical work see equal treatment.
+
+    Regression for the round-robin arbiter: with every client keeping a
+    backlog queued, a fair rotation delays each client at most one command's
+    service time (lock + 6 MMIO words) per intervening client, so the spread
+    of worst-case lock waits is bounded by (n_clients - 1) service times.
+    A skipped rotation would add a full n_clients * service jump for the
+    wronged client and trip the bound.
+    """
+    n_clients, burst = 3, 6
+    build = BeethovenBuild(delay_config(n_clients, latency_cycles=40), SimulationPlatform())
+    handle = FpgaHandle(build.design)
+    clients = [handle.new_client(f"p{i}") for i in range(n_clients)]
+    futures = []
+    for j in range(burst):
+        for i, client in enumerate(clients):
+            futures.append(client.call("Delay", "run", i, job=j))
+    for fut in futures:
+        fut.get(max_cycles=1_000_000)
+    host = build.design.platform.host
+    service = host.command_lock_cycles + 6 * host.mmio_word_cycles
+    waits = handle.server.client_lock_waits
+    assert sorted(waits) == [c.client_id for c in clients]
+    assert all(len(w) == burst for w in waits.values())
+    worst = {client: max(w) for client, w in waits.items()}
+    spread = max(worst.values()) - min(worst.values())
+    assert spread <= (n_clients - 1) * service, (
+        f"unfair arbitration: worst lock waits {worst} spread {spread} "
+        f"> {n_clients - 1} service times ({service} each)"
+    )
+    # Every client's backlog drains at the same cadence: the wait growth per
+    # command is identical across clients under a fair rotation.
+    cadences = {
+        client: {b - a for a, b in zip(w, w[1:])} for client, w in waits.items()
+    }
+    assert len(set(frozenset(c) for c in cadences.values())) == 1, cadences
+
+
 def test_round_robin_prevents_starvation():
     """A client bursting many commands must not starve the other one."""
     build = BeethovenBuild(delay_config(2, latency_cycles=20), SimulationPlatform())

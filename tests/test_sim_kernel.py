@@ -1,8 +1,10 @@
 """Unit tests for the cycle-level simulation kernel."""
 
+import random
+
 import pytest
 
-from repro.sim import ChannelQueue, Component, SimulationError, Simulator
+from repro.sim import NEVER, ChannelQueue, Component, SimulationError, Simulator
 
 
 class Producer(Component):
@@ -131,3 +133,196 @@ def test_len_reflects_pops():
     assert len(chan) == 2
     chan.pop()
     assert len(chan) == 1
+
+
+# ---------------------------------------------------------------------------
+# peek visible-window regression: peek must advertise exactly the window that
+# __len__ / can_pop do — no reaching back into already-popped items, no
+# reaching forward into items staged this cycle.
+# ---------------------------------------------------------------------------
+
+
+def test_peek_rejects_negative_offset():
+    chan = ChannelQueue(4, "c")
+    chan.push(1)
+    chan.push(2)
+    chan.commit()
+    chan.pop()
+    with pytest.raises(SimulationError):
+        chan.peek(-1)  # would resurrect the item popped this cycle
+
+
+def test_peek_window_matches_len():
+    chan = ChannelQueue(8, "c")
+    for i in range(4):
+        chan.push(i)
+    chan.commit()
+    chan.push(99)  # staged: not visible until commit
+    chan.pop()
+    chan.pop()
+    assert len(chan) == 2
+    assert chan.peek(0) == 2
+    assert chan.peek(1) == 3
+    with pytest.raises(SimulationError):
+        chan.peek(2)  # would see the staged push early
+    with pytest.raises(SimulationError):
+        chan.peek(len(chan))
+
+
+def test_peek_empty_raises():
+    chan = ChannelQueue(2, "c")
+    with pytest.raises(SimulationError):
+        chan.peek()
+
+
+# ---------------------------------------------------------------------------
+# Property-based exercise of the channel invariants against a reference model
+# (seeded random — deterministic, no external dependencies).
+# ---------------------------------------------------------------------------
+
+
+def _random_channel_workout(seed, capacity, cycles):
+    rng = random.Random(seed)
+    chan = ChannelQueue(capacity, f"prop{seed}")
+    visible = []  # reference model: items visible this cycle
+    staged = []  # reference model: pushes staged this cycle
+    pushed_seq = []
+    popped_seq = []
+    next_token = 0
+
+    for _ in range(cycles):
+        popped_this_cycle = 0
+        for _ in range(rng.randrange(4)):
+            op = rng.choice(("push", "pop", "peek"))
+            if op == "push":
+                # Capacity invariant: admission counts visible + staged items.
+                assert chan.can_push() == (
+                    len(visible) + len(staged) + 1 <= capacity
+                )
+                if chan.can_push():
+                    chan.push(next_token)
+                    staged.append(next_token)
+                    pushed_seq.append(next_token)
+                    next_token += 1
+                else:
+                    with pytest.raises(SimulationError):
+                        chan.push(-1)
+            elif op == "pop":
+                # Start-of-cycle visibility: only items visible at the start
+                # of the cycle (minus this cycle's pops) can be popped.
+                assert chan.can_pop() == (popped_this_cycle < len(visible))
+                if chan.can_pop():
+                    popped_seq.append(chan.pop())
+                    popped_this_cycle += 1
+                else:
+                    with pytest.raises(SimulationError):
+                        chan.pop()
+            else:
+                window = len(visible) - popped_this_cycle
+                assert len(chan) == window
+                if window:
+                    off = rng.randrange(window)
+                    assert chan.peek(off) == visible[popped_this_cycle + off]
+                else:
+                    with pytest.raises(SimulationError):
+                        chan.peek()
+        chan.commit()
+        del visible[:popped_this_cycle]
+        visible.extend(staged)
+        staged.clear()
+
+    # FIFO order end to end: the popped sequence is a prefix of the pushed one.
+    assert popped_seq == pushed_seq[: len(popped_seq)]
+    assert chan.total_pushed == len(pushed_seq)
+    assert chan.total_popped == len(popped_seq)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_channel_property_workout(seed):
+    _random_channel_workout(seed, capacity=1 + seed % 4, cycles=200)
+
+
+# ---------------------------------------------------------------------------
+# Event-skipping kernel unit semantics.
+# ---------------------------------------------------------------------------
+
+
+class Sleeper(Component):
+    """Responds exactly ``delay`` cycles after each request, via next_event."""
+
+    def __init__(self, delay):
+        super().__init__("sleeper")
+        self.req = ChannelQueue(2, "sleeper.req")
+        self.resp = ChannelQueue(2, "sleeper.resp")
+        self.delay = delay
+        self._due = None
+        self.tick_cycles = []
+
+    def tick(self, cycle):
+        self.tick_cycles.append(cycle)
+        if self._due is not None:
+            if cycle >= self._due and self.resp.can_push():
+                self.resp.push(cycle)
+                self._due = None
+            return
+        if self.req.can_pop():
+            self.req.pop()
+            self._due = cycle + self.delay
+
+    def next_event(self, cycle):
+        if self._due is None:
+            return NEVER
+        return max(cycle, self._due)
+
+
+def test_fast_forward_skips_to_hint():
+    sim = Simulator(fast_forward=True)
+    sleeper = sim.add(Sleeper(1000))
+    sleeper.req.push(0)
+    sim.run(5000, until=lambda: len(sleeper.resp) > 0)
+    # Response lands at the same cycle a naive run produces...
+    naive = Simulator()
+    ns = naive.add(Sleeper(1000))
+    ns.req.push(0)
+    naive.run(5000, until=lambda: len(ns.resp) > 0)
+    assert sim.cycle == naive.cycle
+    # ...but the fast-forward run elided almost all of the wait.
+    assert sim.cycles_skipped > 900
+    assert len(sleeper.tick_cycles) < 100
+
+
+def test_unhinted_component_vetoes_skipping():
+    class Unhinted(Component):
+        def tick(self, cycle):
+            pass
+
+    sim = Simulator(fast_forward=True)
+    sleeper = sim.add(Sleeper(1000))
+    sim.add(Unhinted())
+    sleeper.req.push(0)
+    sim.run(5000, until=lambda: len(sleeper.resp) > 0)
+    assert sim.cycles_skipped == 0
+
+
+def test_fast_forward_credits_channel_stats():
+    sim = Simulator(fast_forward=True)
+    sleeper = sim.add(Sleeper(1000))
+    sleeper.req.push(0)
+    sim.run(5000, until=lambda: len(sleeper.resp) > 0)
+    for chan in (sleeper.req, sleeper.resp):
+        assert chan.cycles_observed == sim.cycle
+
+
+def test_all_never_skips_to_deadline_only_without_predicate():
+    class Reactive(Component):
+        def tick(self, cycle):
+            pass
+
+        def next_event(self, cycle):
+            return NEVER
+
+    sim = Simulator(fast_forward=True)
+    sim.add(Reactive())
+    assert sim.run(10_000) == 10_000
+    assert sim.skip_events == 1
+    assert sim.cycles_skipped == 10_000 - 1
