@@ -13,13 +13,13 @@ import time
 
 import pytest
 
+from repro.analysis import skip_fraction
 from repro.baselines.delay_core import delay_config
 from repro.core.build import BeethovenBuild, BuildMode
 from repro.kernels.machsuite.fig6 import beethoven_kernel_cycles, fig6_all, render_fig6
 from repro.kernels.machsuite.workloads import TABLE1
 from repro.platforms import AWSF1Platform
 from repro.runtime import FpgaHandle
-from repro.sim import render_skip_report
 
 
 def test_table1_workloads(benchmark):
@@ -87,20 +87,24 @@ def _sparse_delay_run(fast_forward):
         fut.get(max_cycles=10_000_000)
         latencies.append(fut.latency_cycles)
     wall = time.perf_counter() - t0
-    return handle.cycle, latencies, wall, build.design.sim
+    return handle.cycle, latencies, wall, build.design
 
 
 def test_fast_forward_sparse_speedup():
-    """Event-skipping wins >= 3x wall clock on a sparse config, cycle-exactly."""
-    naive_cycle, naive_lat, naive_wall, naive_sim = _sparse_delay_run(False)
-    fast_cycle, fast_lat, fast_wall, fast_sim = _sparse_delay_run(True)
+    """Event-skipping wins >= 3x wall clock on a sparse config, cycle-exactly.
+
+    The skip accounting is read back through the unified metric registry
+    (``sim/*`` namespace) rather than from simulator internals.
+    """
+    naive_cycle, naive_lat, naive_wall, naive_design = _sparse_delay_run(False)
+    fast_cycle, fast_lat, fast_wall, fast_design = _sparse_delay_run(True)
     speedup = naive_wall / fast_wall
     print()
     print(f"naive: {naive_cycle} cycles in {naive_wall:.3f}s")
     print(f"fast : {fast_cycle} cycles in {fast_wall:.3f}s ({speedup:.1f}x)")
-    print(render_skip_report(fast_sim))
+    print(fast_design.metrics_report("sim"))
     assert fast_cycle == naive_cycle
     assert fast_lat == naive_lat
-    assert naive_sim.cycles_skipped == 0
-    assert fast_sim.cycles_skipped > 0.9 * fast_cycle
+    assert naive_design.registry.value("sim/cycles_skipped") == 0
+    assert skip_fraction(fast_design.registry) > 0.9
     assert speedup >= 3.0

@@ -29,10 +29,20 @@ class LatencyStats:
 
 
 def _percentile(sorted_vals: Sequence[int], frac: float) -> float:
+    """Percentile with linear interpolation between closest ranks.
+
+    ``frac`` in [0, 1] maps onto rank ``frac * (n - 1)``; fractional ranks
+    interpolate between the two bracketing observations (the numpy
+    ``linear`` convention), so p50 of ``[1, 2, 3, 4]`` is 2.5, not 3.
+    """
     if not sorted_vals:
         return 0.0
-    idx = min(int(frac * len(sorted_vals)), len(sorted_vals) - 1)
-    return float(sorted_vals[idx])
+    frac = min(max(frac, 0.0), 1.0)
+    rank = frac * (len(sorted_vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    weight = rank - lo
+    return float(sorted_vals[lo]) + (float(sorted_vals[hi]) - float(sorted_vals[lo])) * weight
 
 
 def latency_stats(records: Sequence[TxnRecord], kind: Optional[str] = None) -> LatencyStats:
@@ -89,6 +99,65 @@ def bandwidth_share(
         key = region_of(r.addr)
         shares[key] = shares.get(key, 0) + r.length * beat_bytes
     return shares
+
+
+# ---------------------------------------------------------------------------
+# Registry-backed views (see :mod:`repro.obs.registry`).
+#
+# These read the unified metric namespace instead of reaching into model
+# internals, so they work on any design — or on a metrics dump loaded back
+# from ``export_metrics`` — without holding the live objects.
+# ---------------------------------------------------------------------------
+
+
+def registry_frame(registry, prefix: Optional[str] = None) -> Dict[str, float]:
+    """Flatten a :class:`MetricRegistry` dump into scalar rows.
+
+    Histogram entries contribute ``<name>/count`` and ``<name>/mean`` rows;
+    counters and gauges map straight through.
+    """
+    out: Dict[str, float] = {}
+    for name, value in registry.dump(prefix).items():
+        if isinstance(value, dict):
+            count = float(value.get("count", 0))
+            out[f"{name}/count"] = count
+            out[f"{name}/mean"] = float(value.get("total", 0)) / count if count else 0.0
+        else:
+            out[name] = float(value)
+    return out
+
+
+def dram_bus_utilisation(registry, controller: str = "dram/mc") -> float:
+    """Data-bus utilisation of one controller, from registry counters alone."""
+    cycles = registry.value("sim/cycles_total", 0)
+    busy = registry.value(f"{controller}/bus_cycles", 0)
+    return int(busy) / max(int(cycles), 1)
+
+
+def dram_row_hit_rate(registry, controller: str = "dram/mc") -> float:
+    """Fraction of column accesses that hit an open row."""
+    hits = int(registry.value(f"{controller}/row_hits", 0))
+    misses = int(registry.value(f"{controller}/row_misses", 0))
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def skip_fraction(registry) -> float:
+    """Fraction of simulated cycles the event-skipping kernel fast-forwarded."""
+    cycles = int(registry.value("sim/cycles_total", 0))
+    skipped = int(registry.value("sim/cycles_skipped", 0))
+    return skipped / cycles if cycles else 0.0
+
+
+def noc_link_beats(registry) -> Dict[str, int]:
+    """Total beats forwarded per NoC buffer node (sum over AXI channels)."""
+    totals: Dict[str, int] = {}
+    for name in registry.names("noc"):
+        stem, _, leaf = name.rpartition("/")
+        if leaf.startswith("forwarded_"):
+            node = stem[len("noc/"):]
+            totals[node] = totals.get(node, 0) + int(registry.value(name))
+    return totals
 
 
 def fairness_index(values: Sequence[float]) -> float:

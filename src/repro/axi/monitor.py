@@ -131,6 +131,28 @@ class AxiMonitor(Component):
     def tick(self, cycle: int) -> None:
         pass  # purely hook-driven
 
+    def next_event(self, cycle: int):
+        from repro.sim import NEVER
+
+        return NEVER  # never self-schedules; endpoints drive the hooks
+
+    @property
+    def metric_path(self) -> str:
+        return "axi/" + self.port_name
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("bursts", lambda: len(self.records))
+        scope.bind(
+            "read_bursts",
+            lambda: sum(1 for r in self.records if r.kind == "read"),
+        )
+        scope.bind(
+            "write_bursts",
+            lambda: sum(1 for r in self.records if r.kind == "write"),
+        )
+        scope.bind("outstanding", self.outstanding)
+        scope.bind("protocol_errors", lambda: len(self.errors))
+
     def _fail(self, msg: str) -> None:
         self.errors.append(msg)
         raise SimulationError(f"AXI protocol violation on {self.port_name}: {msg}")

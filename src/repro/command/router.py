@@ -53,6 +53,18 @@ class CoreCommandAdapter(Component):
         self._chunks: Dict[int, List[Tuple[int, int]]] = {}
         self._pending_rd: List[Deque[int]] = [deque() for _ in ios]
         self.commands_delivered = 0
+        self.responses_packed = 0
+        # Optional CommandSpanTracker: delivery/response are the lifecycle
+        # hooks that bracket a command's "execute" span.
+        self.spans = None
+
+    @property
+    def metric_path(self) -> str:
+        return "cmd/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("commands_delivered", lambda: self.commands_delivered)
+        scope.bind("responses_packed", lambda: self.responses_packed)
 
     def channels(self):
         chans = [self.cmd_in, self.resp_out]
@@ -92,6 +104,8 @@ class CoreCommandAdapter(Component):
         self._chunks[io_idx] = []
         io.req.push(values)
         self.commands_delivered += 1
+        if self.spans is not None:
+            self.spans.delivered(cycle, (self.system_id, self.core_id))
         if inst.xd:
             self._pending_rd[io_idx].append(inst.rd)
 
@@ -106,6 +120,11 @@ class CoreCommandAdapter(Component):
                 self.resp_out.push(
                     RoccResponse(self.system_id, self.core_id, rd, data)
                 )
+                self.responses_packed += 1
+                if self.spans is not None:
+                    self.spans.response_sent(
+                        cycle, (self.system_id, self.core_id)
+                    )
                 return
 
 
@@ -132,6 +151,18 @@ class CommandRouter(Component):
         self._cmd_delay: Deque[Tuple[int, RoccInstruction]] = deque()
         self._resp_delay: Deque[Tuple[int, RoccResponse]] = deque()
         self._resp_rr = 0
+        self.commands_routed = 0
+        self.responses_routed = 0
+
+    @property
+    def metric_path(self) -> str:
+        return "cmd/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("commands_routed", lambda: self.commands_routed)
+        scope.bind("responses_routed", lambda: self.responses_routed)
+        scope.bind("cmd_delay_depth", lambda: len(self._cmd_delay))
+        scope.bind("resp_delay_depth", lambda: len(self._resp_delay))
 
     def attach(self, adapter: CoreCommandAdapter, latency: int = 2) -> None:
         key = (adapter.system_id, adapter.core_id)
@@ -158,6 +189,7 @@ class CommandRouter(Component):
             if ready_at <= cycle and entry.adapter.cmd_in.can_push():
                 self._cmd_delay.popleft()
                 entry.adapter.cmd_in.push(inst)
+                self.commands_routed += 1
         # Collect one response per cycle, round-robin over cores.
         adapters = list(self._routes.values())
         if adapters:
@@ -170,6 +202,7 @@ class CommandRouter(Component):
                     break
         if self._resp_delay and self._resp_delay[0][0] <= cycle and self.resp_out.can_push():
             self.resp_out.push(self._resp_delay.popleft()[1])
+            self.responses_routed += 1
 
     def next_event(self, cycle: int) -> float:
         """Sleep until the head of either delay line matures; ingest and
@@ -199,6 +232,14 @@ class MmioFrontend(Component):
         self._partial: List[int] = []
         self.commands_forwarded = 0
         self.responses_forwarded = 0
+
+    @property
+    def metric_path(self) -> str:
+        return "cmd/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("commands_forwarded", lambda: self.commands_forwarded)
+        scope.bind("responses_forwarded", lambda: self.responses_forwarded)
 
     def tick(self, cycle: int) -> None:
         if self.cmd_words.can_pop() and self.router.cmd_in.can_push():

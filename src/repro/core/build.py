@@ -22,6 +22,7 @@ from repro.core.config import AcceleratorConfig, as_config_list
 from repro.core.elaboration import ElaboratedDesign
 from repro.core.hdlgen import build_hdl
 from repro.hdl.verilog import emit_design
+from repro.obs.config import Observability
 from repro.platforms.base import Platform
 from repro.sim import Tracer
 
@@ -45,12 +46,17 @@ class BeethovenBuild:
         build_mode: BuildMode = BuildMode.Simulation,
         tracer: Optional[Tracer] = None,
         fast_forward: bool = True,
+        observability: Optional["Observability"] = None,
     ) -> None:
         self.platform = platform
         self.build_mode = build_mode
         self.configs = as_config_list(configs)
         self.design = ElaboratedDesign(
-            self.configs, platform, tracer, fast_forward=fast_forward
+            self.configs,
+            platform,
+            tracer,
+            fast_forward=fast_forward,
+            observability=observability,
         )
         if build_mode is BuildMode.Synthesis:
             report = self.design.routability
@@ -78,6 +84,31 @@ class BeethovenBuild:
         m0_path = getattr(self.platform, "m0_source_path", None)
         integration = ChipKitIntegration(m0_source_path=m0_path or "")
         return integration.build_top(self.hdl_top())
+
+    # ---------------------------------------------------------- observability
+    @property
+    def registry(self):
+        """Design-wide metric registry (see :mod:`repro.obs`)."""
+        return self.design.registry
+
+    def metrics(self, prefix=None, stable_only: bool = False):
+        return self.design.metrics(prefix, stable_only=stable_only)
+
+    def metrics_report(self, prefix=None) -> str:
+        return self.design.metrics_report(prefix)
+
+    def export_metrics(self, path: str, prefix=None):
+        return self.design.export_metrics(path, prefix)
+
+    def chrome_trace(self):
+        return self.design.chrome_trace()
+
+    def export_chrome_trace(self, path: str):
+        """Write a Perfetto-loadable (ui.perfetto.dev) trace JSON file."""
+        return self.design.export_chrome_trace(path)
+
+    def profile_report(self, top: int = 0) -> str:
+        return self.design.profile_report(top=top)
 
     # ---------------------------------------------------------------- reports
     @property

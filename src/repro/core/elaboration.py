@@ -98,11 +98,29 @@ class ElaboratedDesign:
         platform: Platform,
         tracer: Optional[Tracer] = None,
         fast_forward: bool = True,
+        observability: Optional["Observability"] = None,
     ) -> None:
+        from repro.obs import CommandSpanTracker, Observability
+
         self.platform = platform
         self.configs = as_config_list(configs)
-        self.tracer = tracer or Tracer()
-        self.sim = Simulator("beethoven", fast_forward=fast_forward, tracer=self.tracer)
+        # Metrics are always collected; the Observability config gates span
+        # tracking, the wall-clock profiler, and trace ring-buffer caps.
+        self.observability = (
+            observability
+            if observability is not None
+            else Observability(profile=False)
+        )
+        self.tracer = tracer or Tracer(max_events=self.observability.max_events)
+        self.span_tracker = (
+            CommandSpanTracker(self.tracer) if self.observability.enabled else None
+        )
+        self.sim = Simulator(
+            "beethoven",
+            fast_forward=fast_forward,
+            tracer=self.tracer,
+            profile=self.observability.profile,
+        )
         self.estimator = ResourceEstimator()
         self.systems: List[ElaboratedSystem] = []
         self.memcell_mapper: Optional[MemcellMapper] = None
@@ -120,6 +138,7 @@ class ElaboratedDesign:
         self._map_memories()
         self._build_memory_network()
         self._build_command_network()
+        self._wire_observability()
         self._register_all()
         self._finalise_report()
         self._check_routability()
@@ -377,10 +396,40 @@ class ElaboratedDesign:
                 latency = self.platform.command_latency_for(ecore.slr)
                 self.router.attach(ecore.adapter, latency)
 
+    # -------------------------------------------------------- observability
+    def _wire_observability(self) -> None:
+        """Hand the span tracker to every model on a command's lifecycle path.
+
+        The tracker follows a host command from the runtime server (which is
+        attached later, by :class:`repro.runtime.FpgaHandle`) through the
+        per-core adapter to the Reader/Writer ports that issue AXI bursts on
+        the command's behalf.
+        """
+        tracker = self.span_tracker
+        if tracker is None:
+            return
+        for system in self.systems:
+            for ecore in system.cores:
+                key = (ecore.system_id, ecore.core_id)
+                tracker.set_track(key, ecore.path)
+                ecore.adapter.spans = tracker
+                ctx = ecore.ctx
+                masters = [r for rs in ctx.readers.values() for r in rs]
+                masters += [w for ws in ctx.writers.values() for w in ws]
+                masters += [
+                    sp.reader
+                    for sp in ctx.scratchpads.values()
+                    if sp.reader is not None
+                ]
+                for master in masters:
+                    master.spans = tracker
+                    master.span_key = key
+
     # ------------------------------------------------------------- simulator
     def _register_all(self) -> None:
         sim = self.sim
         sim.add(self.controller)
+        sim.add(self.monitor)
         for chan in self.mem_mport.port.channels():
             sim.register_channel(chan)
         if self.network is not None:
@@ -471,3 +520,35 @@ class ElaboratedDesign:
 
     def all_cores(self) -> List[ElaboratedCore]:
         return [c for s in self.systems for c in s.cores]
+
+    # -------------------------------------------------------------- exports
+    @property
+    def registry(self):
+        """The design-wide metric registry (owned by the simulator)."""
+        return self.sim.registry
+
+    def metrics(self, prefix: Optional[str] = None, stable_only: bool = False):
+        return self.sim.registry.dump(prefix, stable_only=stable_only)
+
+    def metrics_report(self, prefix: Optional[str] = None) -> str:
+        return self.sim.registry.render_report(prefix)
+
+    def export_metrics(self, path: str, prefix: Optional[str] = None):
+        from repro.obs.export import export_metrics
+
+        return export_metrics(path, self.sim.registry, prefix)
+
+    def chrome_trace(self):
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self.tracer, [self.monitor])
+
+    def export_chrome_trace(self, path: str):
+        from repro.obs.export import export_chrome_trace
+
+        return export_chrome_trace(path, self.tracer, [self.monitor])
+
+    def profile_report(self, top: int = 0) -> str:
+        from repro.obs.profiler import render_profile_report
+
+        return render_profile_report(self.sim, top=top)

@@ -30,6 +30,7 @@ from repro.axi.types import BResp, RBeat
 from repro.dram.bank import Bank
 from repro.dram.store import MemoryStore
 from repro.dram.timing import DramTiming
+from repro.obs.registry import Counter
 from repro.sim import Component
 
 
@@ -117,16 +118,30 @@ class MemoryController(Component):
         self._return_rr: List[int] = []  # round-robin order of IDs for R channel
         self._return_rr_pos = 0
 
-        # Statistics
+        # Statistics: typed counters (int-like), adopted by the metric
+        # registry when this controller joins a simulator.
         self.stats = {
-            "bus_cycles": 0,
-            "read_cols": 0,
-            "write_cols": 0,
-            "turnarounds": 0,
-            "row_hits": 0,
-            "row_misses": 0,
-            "refreshes": 0,
+            "bus_cycles": Counter(),
+            "read_cols": Counter(),
+            "write_cols": Counter(),
+            "turnarounds": Counter(),
+            "row_hits": Counter(),
+            "row_misses": Counter(),
+            "refreshes": Counter(),
         }
+
+    @property
+    def metric_path(self) -> str:
+        return "dram/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        for key, ctr in self.stats.items():
+            scope.attach(key, ctr)
+        scope.bind("outstanding_txns", self._outstanding)
+        scope.bind("sched_queue_depth", lambda: len(self._sched))
+        scope.bind(
+            "activations", lambda: sum(b.activations for b in self.banks)
+        )
 
     # ------------------------------------------------------------------ helpers
     def _outstanding(self) -> int:

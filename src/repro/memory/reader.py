@@ -87,16 +87,30 @@ class Reader(Component):
         self._next_id = 0
         self._next_ar_cycle = 0
         self.bytes_delivered = 0
+        self.requests_accepted = 0
+        self.bursts_issued = 0
+        # Observability: set by the elaborator so AXI bursts are attributed
+        # to the host command currently executing on this Reader's core.
+        self.spans = None
+        self.span_key = None
+        self._span_by_tag: Dict[int, int] = {}
 
     # -- elaboration hooks ---------------------------------------------------
     def channels(self):
         return [self.request, self.data] + self.port.channels()
 
+    def register_metrics(self, scope) -> None:
+        scope.bind("bytes_delivered", lambda: self.bytes_delivered)
+        scope.bind("requests_accepted", lambda: self.requests_accepted)
+        scope.bind("bursts_issued", lambda: self.bursts_issued)
+        scope.bind("in_flight", lambda: self._in_flight)
+        scope.bind("reserved_bytes", lambda: self._reserved_bytes)
+
     # -- behaviour ------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         self._accept_request()
         self._issue_ar(cycle)
-        self._collect_beats()
+        self._collect_beats(cycle)
         self._deliver()
 
     def _accept_request(self) -> None:
@@ -107,6 +121,7 @@ class Reader(Component):
         if len(self._pending) > 2 * self.tuning.max_in_flight:
             return
         req = self.request.pop()
+        self.requests_accepted += 1
         beat = self.port.params.beat_bytes
         for addr, beats, payload in split_into_bursts(
             req.addr, req.len_bytes, beat, self.tuning.max_txn_beats
@@ -134,10 +149,15 @@ class Reader(Component):
         self._by_tag[req.tag] = sub
         self._pending.popleft()
         self._in_flight += 1
+        self.bursts_issued += 1
         self._reserved_bytes += burst_bytes
         self._next_ar_cycle = cycle + self.tuning.ar_issue_gap
+        if self.spans is not None:
+            self._span_by_tag[req.tag] = self.spans.axi_begin(
+                cycle, self.span_key, self.name, "read", sub.addr, sub.beats
+            )
 
-    def _collect_beats(self) -> None:
+    def _collect_beats(self, cycle: int) -> None:
         if not self.port.r.can_pop():
             return
         beat = self.port.r.pop()
@@ -148,6 +168,9 @@ class Reader(Component):
         if beat.last:
             self._in_flight -= 1
             del self._by_tag[beat.tag]
+            span_id = self._span_by_tag.pop(beat.tag, 0)
+            if span_id and self.spans is not None:
+                self.spans.axi_end(span_id, cycle)
 
     def _deliver(self) -> None:
         if not self._order or not self.data.can_push():

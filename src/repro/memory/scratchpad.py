@@ -150,6 +150,18 @@ class Scratchpad(Component):
         # Matured read data awaiting space in a port's response queue.
         self._resp_overflow: List[Deque[int]] = [deque() for _ in range(n_ports)]
         self._reads_in_flight = [0] * n_ports
+        # Statistics (plain ints; bound lazily into the metric registry).
+        self.reads_served = 0
+        self.writes_served = 0
+        self.init_words = 0
+        self.inits_completed = 0
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("reads_served", lambda: self.reads_served)
+        scope.bind("writes_served", lambda: self.writes_served)
+        scope.bind("init_words", lambda: self.init_words)
+        scope.bind("inits_completed", lambda: self.inits_completed)
+        scope.bind("rows", lambda: self.n_datas)
 
     def channels(self):
         chans = [self.init, self.init_done]
@@ -200,9 +212,11 @@ class Scratchpad(Component):
                 del self._init_residue[:word_bytes]
                 self.mem._cells[self._init_row] = word
                 self._init_row += 1
+                self.init_words += 1
             if self._init_bytes_left <= 0 and self.init_done.can_push():
                 self.init_done.push(True)
                 self._init_active = False
+                self.inits_completed += 1
 
     def _serve_ports(self) -> None:
         for i, port in enumerate(self.ports):
@@ -218,6 +232,7 @@ class Scratchpad(Component):
                 if op.write:
                     port.req.pop()
                     self.mem.write(0, op.row, op.wdata)
+                    self.writes_served += 1
                 else:
                     # Issue a read only when its response is guaranteed a
                     # buffer slot at maturity (conservative credit rule).
@@ -226,3 +241,4 @@ class Scratchpad(Component):
                         port.req.pop()
                         self.mem.read(i, op.row)
                         self._reads_in_flight[i] += 1
+                        self.reads_served += 1

@@ -101,9 +101,23 @@ class Writer(Component):
         self._next_id = 0
         self._next_aw_cycle = 0
         self.bytes_accepted = 0
+        self.requests_accepted = 0
+        self.bursts_issued = 0
+        # Observability: set by the elaborator so AXI bursts are attributed
+        # to the host command currently executing on this Writer's core.
+        self.spans = None
+        self.span_key = None
+        self._span_by_tag: Dict[int, int] = {}
 
     def channels(self):
         return [self.request, self.data, self.done] + self.port.channels()
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("bytes_accepted", lambda: self.bytes_accepted)
+        scope.bind("requests_accepted", lambda: self.requests_accepted)
+        scope.bind("bursts_issued", lambda: self.bursts_issued)
+        scope.bind("in_flight", lambda: self._in_flight)
+        scope.bind("buffered_bytes", lambda: self._buffered_bytes)
 
     # -- behaviour ----------------------------------------------------------
     def tick(self, cycle: int) -> None:
@@ -111,13 +125,14 @@ class Writer(Component):
         self._accept_data()
         self._issue_aw(cycle)
         self._stream_w()
-        self._collect_b()
+        self._collect_b(cycle)
         self._report_done()
 
     def _accept_request(self) -> None:
         if not self.request.can_pop() or len(self._requests) >= 2:
             return
         req = self.request.pop()
+        self.requests_accepted += 1
         active = _ActiveRequest(req)
         beat = self.port.params.beat_bytes
         for addr, beats, payload in split_into_bursts(
@@ -174,7 +189,12 @@ class Writer(Component):
         self.port.aw.push(req)
         self._w_stream.append(sub)
         self._in_flight += 1
+        self.bursts_issued += 1
         self._next_aw_cycle = cycle + self.tuning.aw_issue_gap
+        if self.spans is not None:
+            self._span_by_tag[req.tag] = self.spans.axi_begin(
+                cycle, self.span_key, self.name, "write", sub.addr, sub.beats
+            )
 
     def _stream_w(self) -> None:
         if not self._w_stream or not self.port.w.can_push():
@@ -194,7 +214,7 @@ class Writer(Component):
         if last:
             self._w_stream.popleft()
 
-    def _collect_b(self) -> None:
+    def _collect_b(self, cycle: int) -> None:
         if not self.port.b.can_pop():
             return
         resp = self.port.b.pop()
@@ -205,6 +225,9 @@ class Writer(Component):
         self._in_flight -= 1
         self._buffered_bytes -= sub.payload_bytes
         del self._sub_payload[resp.tag]
+        span_id = self._span_by_tag.pop(resp.tag, 0)
+        if span_id and self.spans is not None:
+            self.spans.axi_end(span_id, cycle)
 
     def _report_done(self) -> None:
         if not self._requests or not self.done.can_push():

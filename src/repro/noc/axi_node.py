@@ -64,6 +64,15 @@ class AxiBufferNode(Component):
         # never forward an AW whose W data could deadlock the lock queue.
         self.forwarded = {"ar": 0, "aw": 0, "w": 0, "r": 0, "b": 0}
 
+    @property
+    def metric_path(self) -> str:
+        return "noc/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        for ch in ("ar", "aw", "w", "r", "b"):
+            scope.bind(f"forwarded_{ch}", lambda ch=ch: self.forwarded[ch])
+        scope.bind("upstreams", lambda: len(self.upstreams))
+
     # -- ID remapping -------------------------------------------------------
     def _remap(self, up_idx: int, axi_id: int) -> int:
         return (up_idx << self.child_id_bits) | axi_id
@@ -185,6 +194,15 @@ class AxiPipe(Component):
         self.down = as_link(downstream)
         self.latency = latency
         self._delay: dict = {ch: deque() for ch in ("ar", "aw", "w", "r", "b")}
+
+    @property
+    def metric_path(self) -> str:
+        return "noc/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        scope.bind("latency", lambda: self.latency)
+        for ch in ("ar", "aw", "w", "r", "b"):
+            scope.bind(f"in_flight_{ch}", lambda ch=ch: len(self._delay[ch]))
 
     def tick(self, cycle: int) -> None:
         self._ingest(cycle, "ar", self.up.ar)

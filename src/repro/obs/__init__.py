@@ -1,0 +1,43 @@
+"""Unified instrumentation layer: metrics, command spans, exporters, profiler.
+
+See DESIGN.md ("Observability") for the namespace scheme and span model.
+"""
+
+from repro.obs.config import Observability
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics,
+    validate_chrome_trace,
+)
+from repro.obs.profiler import profile_summary, render_profile_report
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    BoundMetric,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricScope,
+)
+from repro.obs.spans import CommandSpanTracker
+
+__all__ = [
+    "BoundMetric",
+    "CommandSpanTracker",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricScope",
+    "Observability",
+    "chrome_trace",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_metrics",
+    "profile_summary",
+    "render_profile_report",
+    "validate_chrome_trace",
+]

@@ -111,7 +111,9 @@ class FpgaHandle:
         self.allocator = make_allocator(
             self.discrete, platform.memory_base, platform.memory_bytes
         )
-        self.server = RuntimeServer(design.mmio, platform.host)
+        self.server = RuntimeServer(
+            design.mmio, platform.host, spans=getattr(design, "span_tracker", None)
+        )
         design.sim.add(self.server)
         self.dma_cycles_spent = 0
 
@@ -206,7 +208,11 @@ class FpgaHandle:
                 rd=1,
             )
             self.server.submit(
-                inst, on_response if last else None, design.sim.cycle, client=_client
+                inst,
+                on_response if last else None,
+                design.sim.cycle,
+                client=_client,
+                label=io_name,
             )
         return handle
 

@@ -17,6 +17,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.command.rocc import RoccInstruction, RoccResponse
 from repro.command.router import MmioFrontend
+from repro.obs.registry import Counter, Histogram
 from repro.platforms.base import HostInterface
 from repro.sim import NEVER, Component
 
@@ -30,15 +31,25 @@ class PendingCommand:
     client: int = 0
     dispatch_start: Optional[int] = None
     dispatch_end: Optional[int] = None
+    span_id: int = 0  # observability root span (0 = untracked)
 
 
 class RuntimeServer(Component):
     """Serialises host commands onto the MMIO frontend and polls responses."""
 
-    def __init__(self, mmio: MmioFrontend, host: HostInterface, name: str = "server") -> None:
+    def __init__(
+        self,
+        mmio: MmioFrontend,
+        host: HostInterface,
+        name: str = "server",
+        spans=None,
+    ) -> None:
         super().__init__(name)
         self.mmio = mmio
         self.host = host
+        # Optional CommandSpanTracker: assigns IDs to host commands here and
+        # follows them through dispatch, delivery, execution, and response.
+        self.spans = spans
         # Fair arbitration: one command queue per client process, served
         # round-robin (the "arbitrating fair access to the command-response
         # bus" of Section II-C1).
@@ -51,15 +62,34 @@ class RuntimeServer(Component):
         self._lock_until = 0
         self._next_poll = 0
         self._resp_words: List[int] = []
-        self._waiters: Dict[Tuple[int, int], Deque[Callable[[RoccResponse], None]]] = {}
-        # Statistics for the contention analysis.
-        self.commands_sent = 0
-        self.responses_received = 0
-        self.lock_wait_cycles = 0
-        self.busy_cycles = 0
+        # key -> FIFO of (callback, span_id) for in-flight commands.
+        self._waiters: Dict[
+            Tuple[int, int], Deque[Tuple[Callable[[RoccResponse], None], int]]
+        ] = {}
+        # Statistics for the contention analysis.  Typed metrics compare and
+        # accumulate like ints, so call sites and tests read them unchanged.
+        self.commands_sent = Counter()
+        self.responses_received = Counter()
+        self.lock_wait_cycles = Counter()
+        self.busy_cycles = Counter()
+        self.lock_wait_hist = Histogram()
         # Per-client lock-wait samples (enqueue -> dispatch), for fairness
         # analysis of the round-robin arbiter.
         self.client_lock_waits: Dict[int, List[int]] = {}
+
+    @property
+    def metric_path(self) -> str:
+        return "runtime/" + self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        scope.attach("commands_sent", self.commands_sent)
+        scope.attach("responses_received", self.responses_received)
+        scope.attach("lock_wait_cycles", self.lock_wait_cycles)
+        scope.attach("busy_cycles", self.busy_cycles)
+        scope.attach("lock_wait", self.lock_wait_hist)
+        scope.bind("in_flight", lambda: self.in_flight)
+        if self.spans is not None:
+            self.spans.register_metrics(scope)
 
     # ------------------------------------------------------------- host API
     def submit(
@@ -68,6 +98,7 @@ class RuntimeServer(Component):
         on_response: Optional[Callable[[RoccResponse], None]],
         cycle_hint: int = 0,
         client: int = 0,
+        label: Optional[str] = None,
     ) -> None:
         cmd = PendingCommand(
             inst.encode_words(),
@@ -76,6 +107,12 @@ class RuntimeServer(Component):
             cycle_hint,
             client,
         )
+        # Only the completing chunk of a multi-chunk command carries the
+        # response callback; that chunk is the one the span follows.
+        if self.spans is not None and on_response is not None:
+            cmd.span_id = self.spans.command_submitted(
+                cycle_hint, cmd.key, client, label or f"io{inst.funct7}"
+            )
         if client not in self._queues:
             self._queues[client] = deque()
             self._client_rr.append(client)
@@ -132,10 +169,13 @@ class RuntimeServer(Component):
             self._current.dispatch_start = cycle
             wait = max(0, cycle - self._current.enqueue_cycle)
             self.lock_wait_cycles += wait
+            self.lock_wait_hist.observe(wait)
             self.client_lock_waits.setdefault(self._current.client, []).append(wait)
             self._words_left = list(self._current.words)
             # Lock acquisition + per-command bookkeeping cost.
             self._next_word_cycle = cycle + self.host.command_lock_cycles
+            if self.spans is not None and self._current.span_id:
+                self.spans.dispatch_begin(cycle, self._current.span_id)
         if self._current is not None and cycle >= self._next_word_cycle:
             if self._words_left and self.mmio.cmd_words.can_push():
                 self.mmio.cmd_words.push(self._words_left.pop(0))
@@ -144,8 +184,12 @@ class RuntimeServer(Component):
             if not self._words_left:
                 cmd = self._current
                 cmd.dispatch_end = cycle
+                if self.spans is not None and cmd.span_id:
+                    self.spans.dispatch_end(cycle, cmd.span_id, cmd.key)
                 if cmd.on_response is not None:
-                    self._waiters.setdefault(cmd.key, deque()).append(cmd.on_response)
+                    self._waiters.setdefault(cmd.key, deque()).append(
+                        (cmd.on_response, cmd.span_id)
+                    )
                 self.commands_sent += 1
                 self._current = None
                 self._lock_until = cycle + 1
@@ -167,7 +211,10 @@ class RuntimeServer(Component):
                 key = (resp.system_id, resp.core_id)
                 waiters = self._waiters.get(key)
                 if waiters:
-                    waiters.popleft()(resp)
+                    callback, span_id = waiters.popleft()
+                    if self.spans is not None and span_id:
+                        self.spans.command_completed(cycle, span_id)
+                    callback(resp)
                 self.responses_received += 1
         if progressed:
             self._next_poll = cycle + self.host.mmio_word_cycles

@@ -3,6 +3,7 @@
 from repro.sim.kernel import NEVER, ChannelQueue, Component, SimulationError, Simulator
 from repro.sim.trace import (
     NULL_TRACER,
+    Span,
     TraceEvent,
     Tracer,
     render_skip_report,
@@ -15,6 +16,7 @@ __all__ = [
     "NEVER",
     "SimulationError",
     "Simulator",
+    "Span",
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",

@@ -13,7 +13,8 @@ ready/valid design gives real hardware).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Iterable, List, Optional, TypeVar
+import time
+from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -103,6 +104,20 @@ class ChannelQueue(Generic[T]):
         self.occupancy_accum += len(self._items) * n
         self.cycles_observed += n
 
+    def register_metrics(self, scope) -> None:
+        """Bind this channel's statistics into a metric registry scope.
+
+        The stats themselves stay plain int fields — ``commit`` runs once per
+        channel per cycle and is the kernel's hottest statistic — so the
+        registry holds lazy views that read the live values at dump time.
+        """
+        scope.bind("pushed", lambda: self.total_pushed)
+        scope.bind("popped", lambda: self.total_popped)
+        scope.bind("occupancy_accum", lambda: self.occupancy_accum)
+        scope.bind("cycles_observed", lambda: self.cycles_observed)
+        scope.bind("mean_occupancy", lambda: self.mean_occupancy)
+        scope.bind("capacity", lambda: self.capacity)
+
     def __len__(self) -> int:
         """Occupancy visible to consumers this cycle."""
         return len(self._items) - self._pop_count
@@ -146,6 +161,24 @@ class Component:
         """Channels owned by this component (auto-registered)."""
         return [v for v in vars(self).values() if isinstance(v, ChannelQueue)]
 
+    @property
+    def metric_path(self) -> str:
+        """Namespace path for this component's metrics.
+
+        Component names already encode the design hierarchy with dots
+        (``reader.Memcpy.c0.copy_in0``); the default maps them to registry
+        paths (``reader/Memcpy/c0/copy_in0``).  Subclasses override to place
+        themselves under a subsystem root (``dram/``, ``runtime/``...).
+        """
+        return self.name.replace(".", "/")
+
+    def register_metrics(self, scope) -> None:
+        """Attach/bind this component's metrics under ``scope``.
+
+        Called by :meth:`Simulator.add`; the default registers nothing
+        (channel statistics are bound separately by the simulator).
+        """
+
 
 class Simulator:
     """Owns the clock; ticks components and commits channels each cycle.
@@ -164,7 +197,11 @@ class Simulator:
         name: str = "sim",
         fast_forward: bool = False,
         tracer: Optional["Tracer"] = None,
+        registry=None,
+        profile: bool = False,
     ) -> None:
+        from repro.obs.registry import MetricRegistry  # lazy: avoid import cycle
+
         self.name = name
         self.cycle = 0
         self.fast_forward = fast_forward
@@ -176,20 +213,55 @@ class Simulator:
         # Skip accounting, surfaced by :func:`repro.sim.trace.skip_summary`.
         self.cycles_skipped = 0
         self.skip_events = 0
+        # Unified metrics: every added component/channel is adopted here.
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._bind_own_metrics()
+        # Wall-clock self-time profile: component name -> [ns_total, calls].
+        self.profile_enabled = profile
+        self.tick_profile: Dict[str, List[float]] = {}
+
+    def _bind_own_metrics(self) -> None:
+        scope = self.registry.scope("sim")
+        scope.bind("cycles_total", lambda: self.cycle)
+        # Skip accounting depends on whether fast-forward ran, so it is
+        # volatile: excluded from the stable dump the differential
+        # naive-vs-fast harness compares bit-for-bit.
+        scope.bind("cycles_skipped", lambda: self.cycles_skipped, volatile=True)
+        scope.bind(
+            "cycles_stepped", lambda: self.cycle - self.cycles_skipped, volatile=True
+        )
+        scope.bind("skip_events", lambda: self.skip_events, volatile=True)
+        if self.tracer is not None:
+            tracer = self.tracer
+            tscope = self.registry.scope("trace")
+            # Event counts are volatile: fast-forward jumps log a trace event
+            # per skip, so they legitimately differ from a naive run.
+            tscope.bind("events", lambda: len(tracer.events), volatile=True)
+            tscope.bind("spans", lambda: len(getattr(tracer, "span_log", ())))
+            tscope.bind(
+                "dropped_events", lambda: tracer.dropped_events, volatile=True
+            )
+            tscope.bind("dropped_spans", lambda: tracer.dropped_spans)
 
     def add(self, component: Component) -> Component:
         self._components.append(component)
         for chan in component.channels():
             self.register_channel(chan)
+        component.register_metrics(self.registry.scope(component.metric_path))
         return component
 
     def register_channel(self, chan: ChannelQueue[Any]) -> ChannelQueue[Any]:
         if id(chan) not in self._channel_ids:
             self._channel_ids.add(id(chan))
             self._channels.append(chan)
+            chan.register_metrics(
+                self.registry.scope("chan/" + chan.name.replace(".", "/"))
+            )
         return chan
 
     def step(self) -> None:
+        if self.profile_enabled:
+            return self._step_profiled()
         for component in self._components:
             component.tick(self.cycle)
         quiescent = True
@@ -197,6 +269,41 @@ class Simulator:
             chan.commit()
             if chan._items:
                 quiescent = False
+        self._quiescent = quiescent
+        self.cycle += 1
+
+    def _step_profiled(self) -> None:
+        """One cycle with per-component wall-clock attribution.
+
+        Self-time only: each component's tick is timed individually, and the
+        channel-commit sweep is booked under ``(kernel)/commit`` so simulator
+        overhead is distinguishable from model cost.
+        """
+        profile = self.tick_profile
+        clock = time.perf_counter_ns
+        for component in self._components:
+            t0 = clock()
+            component.tick(self.cycle)
+            dt = clock() - t0
+            entry = profile.get(component.name)
+            if entry is None:
+                profile[component.name] = [dt, 1]
+            else:
+                entry[0] += dt
+                entry[1] += 1
+        t0 = clock()
+        quiescent = True
+        for chan in self._channels:
+            chan.commit()
+            if chan._items:
+                quiescent = False
+        dt = clock() - t0
+        entry = profile.get("(kernel)/commit")
+        if entry is None:
+            profile["(kernel)/commit"] = [dt, 1]
+        else:
+            entry[0] += dt
+            entry[1] += 1
         self._quiescent = quiescent
         self.cycle += 1
 
@@ -240,6 +347,21 @@ class Simulator:
     # -- event skipping -----------------------------------------------------
     def _try_fast_forward(self, deadline: int, to_deadline_ok: bool) -> None:
         """Jump to the earliest pending component event, if one is provable."""
+        if self.profile_enabled:
+            t0 = time.perf_counter_ns()
+            try:
+                return self._fast_forward_inner(deadline, to_deadline_ok)
+            finally:
+                dt = time.perf_counter_ns() - t0
+                entry = self.tick_profile.get("(kernel)/fast_forward")
+                if entry is None:
+                    self.tick_profile["(kernel)/fast_forward"] = [dt, 1]
+                else:
+                    entry[0] += dt
+                    entry[1] += 1
+        return self._fast_forward_inner(deadline, to_deadline_ok)
+
+    def _fast_forward_inner(self, deadline: int, to_deadline_ok: bool) -> None:
         target = NEVER
         for component in self._components:
             hint = component.next_event(self.cycle)

@@ -1,13 +1,23 @@
-"""Event tracing for simulations.
+"""Event and span tracing for simulations.
 
-The tracer records (cycle, channel, event, payload) tuples.  It backs the
-Figure-5 style AXI transaction timelines and is deliberately simple: models
-call :meth:`Tracer.record` at interesting points and analyses slice the event
-list afterwards.
+The tracer records two kinds of data:
+
+* flat :class:`TraceEvent` records — (cycle, channel, event, payload) tuples
+  the models emit at interesting points (the Figure-5 AXI timelines slice
+  these afterwards);
+* :class:`Span` records — named intervals with parent links, used by the
+  observability layer to reconstruct one host command's full lifetime
+  (enqueue -> dispatch -> execute -> AXI bursts -> response) and exported as
+  Chrome/Perfetto ``trace_event`` JSON by :mod:`repro.obs.export`.
+
+Long traced runs stay bounded: construct the tracer with ``max_events`` and
+both stores become ring buffers; evictions are counted in
+``dropped_events``/``dropped_spans`` which the simulator exposes as metrics.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -21,39 +31,136 @@ class TraceEvent:
 
 
 @dataclass
+class Span:
+    """A named interval on a track, with an optional parent span.
+
+    ``track`` is a display grouping (``"Memcpy/core0"``); ``parent`` links a
+    child (an AXI burst) to the enclosing interval (the host command) so the
+    full command tree is reconstructible even when siblings overlap.
+    """
+
+    span_id: int
+    name: str
+    track: str
+    begin_cycle: int
+    end_cycle: Optional[int] = None
+    parent: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.end_cycle is None:
+            return None
+        return self.end_cycle - self.begin_cycle
+
+
+@dataclass
 class Tracer:
-    """Collects :class:`TraceEvent` records during a simulation run."""
+    """Collects :class:`TraceEvent` and :class:`Span` records during a run.
+
+    ``max_events`` (optional) caps *each* store with ring-buffer semantics so
+    tracing can stay enabled on arbitrarily long runs; the number of evicted
+    records is kept in ``dropped_events`` / ``dropped_spans``.
+    """
 
     enabled: bool = True
-    events: List[TraceEvent] = field(default_factory=list)
+    events: Any = field(default_factory=list)
+    max_events: Optional[int] = None
+    dropped_events: int = 0
+    dropped_spans: int = 0
 
+    def __post_init__(self) -> None:
+        if self.max_events is not None:
+            if self.max_events < 1:
+                raise ValueError("max_events must be >= 1")
+            self.events = deque(self.events, maxlen=self.max_events)
+        self.span_log: Any = (
+            deque(maxlen=self.max_events) if self.max_events is not None else []
+        )
+        self._open_spans: Dict[int, Span] = {}
+        self._next_span_id = 1
+
+    # -- flat events --------------------------------------------------------
     def record(self, cycle: int, channel: str, event: str, payload: Any = None) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(cycle, channel, event, payload))
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped_events += 1
+        self.events.append(TraceEvent(cycle, channel, event, payload))
 
     def filter(self, channel: Optional[str] = None, event: Optional[str] = None) -> List[TraceEvent]:
-        out = self.events
+        out = list(self.events)
         if channel is not None:
             out = [e for e in out if e.channel == channel]
         if event is not None:
             out = [e for e in out if e.event == event]
-        return list(out)
+        return out
 
     def spans(self, channel: str, start_event: str, end_event: str) -> List[Tuple[Any, int, int]]:
-        """Pair start/end events by payload key into (key, start, end) spans."""
-        starts: Dict[Any, int] = {}
+        """Pair start/end events by payload key into (key, start, end) spans.
+
+        Re-used payload keys are handled with a per-key stack: each end event
+        pairs with the *most recent* unmatched start for that key, so nested
+        or repeated use of one key (e.g. a recycled transaction tag) yields
+        every span instead of silently overwriting the earlier start.
+        """
+        starts: Dict[Any, List[int]] = {}
         spans: List[Tuple[Any, int, int]] = []
         for e in self.events:
             if e.channel != channel:
                 continue
             if e.event == start_event:
-                starts[e.payload] = e.cycle
-            elif e.event == end_event and e.payload in starts:
-                spans.append((e.payload, starts.pop(e.payload), e.cycle))
+                starts.setdefault(e.payload, []).append(e.cycle)
+            elif e.event == end_event:
+                open_starts = starts.get(e.payload)
+                if open_starts:
+                    spans.append((e.payload, open_starts.pop(), e.cycle))
         return spans
+
+    # -- spans --------------------------------------------------------------
+    def begin_span(
+        self,
+        cycle: int,
+        track: str,
+        name: str,
+        parent: Optional[int] = None,
+        **args: Any,
+    ) -> int:
+        """Open a span; returns its id (0 when the tracer is disabled)."""
+        if not self.enabled:
+            return 0
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        span = Span(span_id, name, track, cycle, parent=parent, args=args)
+        if self.max_events is not None and len(self.span_log) == self.max_events:
+            evicted = self.span_log[0]
+            self._open_spans.pop(evicted.span_id, None)
+            self.dropped_spans += 1
+        self.span_log.append(span)
+        self._open_spans[span_id] = span
+        return span_id
+
+    def end_span(self, span_id: int, cycle: int, **args: Any) -> None:
+        span = self._open_spans.pop(span_id, None)
+        if span is None:
+            return  # disabled tracer, evicted span, or double end
+        span.end_cycle = cycle
+        if args:
+            span.args.update(args)
+
+    def closed_spans(self, track: Optional[str] = None) -> List[Span]:
+        out = [s for s in self.span_log if s.end_cycle is not None]
+        if track is not None:
+            out = [s for s in out if s.track == track]
+        return out
+
+    def children_of(self, span_id: int) -> List[Span]:
+        return [s for s in self.span_log if s.parent == span_id]
 
     def clear(self) -> None:
         self.events.clear()
+        self.span_log.clear()
+        self._open_spans.clear()
 
 
 #: A process-wide null tracer models can default to.

@@ -44,11 +44,14 @@ def build_memory_testbench(
     child_id_bits: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     fast_forward: bool = True,
+    profile: bool = False,
 ) -> MemoryTestbench:
     """Wire ``master_ports`` through a tree network to a DRAM controller.
 
     ``fast_forward`` enables the event-skipping kernel (cycle-exact; pass
-    ``False`` to force the naive cycle-by-cycle schedule).
+    ``False`` to force the naive cycle-by-cycle schedule).  ``profile``
+    enables the per-component wall-clock profiler
+    (:func:`repro.obs.render_profile_report`).
     """
     tracer = tracer or Tracer()
     params = controller_params or AxiParams(beat_bytes=timing.col_bytes)
@@ -57,8 +60,9 @@ def build_memory_testbench(
     mport = MonitoredAxiPort(slave_port, monitor)
     controller = MemoryController(mport, timing)
 
-    sim = Simulator(fast_forward=fast_forward, tracer=tracer)
+    sim = Simulator(fast_forward=fast_forward, tracer=tracer, profile=profile)
     sim.add(controller)
+    sim.add(monitor)
     for chan in slave_port.channels():
         sim.register_channel(chan)
 

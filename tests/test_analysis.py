@@ -4,10 +4,16 @@ import pytest
 
 from repro.analysis import (
     LatencyStats,
+    _percentile,
     bandwidth_share,
     bytes_transferred,
+    dram_bus_utilisation,
+    dram_row_hit_rate,
     fairness_index,
     latency_stats,
+    noc_link_beats,
+    registry_frame,
+    skip_fraction,
 )
 from repro.axi import AxiParams
 from repro.axi.monitor import TxnRecord
@@ -33,6 +39,29 @@ def test_latency_stats_basics():
 
 def test_latency_stats_empty():
     assert latency_stats([]) == LatencyStats.empty()
+
+
+def test_percentile_linear_interpolation():
+    """Regression pin: percentiles interpolate between closest ranks
+    (numpy's ``linear`` convention) instead of truncating to an index."""
+    assert _percentile([1, 2, 3, 4], 0.50) == pytest.approx(2.5)
+    assert _percentile([1, 2, 3, 4], 0.25) == pytest.approx(1.75)
+    assert _percentile([1, 2, 3, 4], 0.0) == 1.0
+    assert _percentile([1, 2, 3, 4], 1.0) == 4.0
+    # 10 observations: rank 0.95 * 9 = 8.55 -> 80 + 0.55 * 10.
+    assert _percentile(list(range(0, 100, 10)), 0.95) == pytest.approx(85.5)
+    assert _percentile([7], 0.95) == 7.0
+    assert _percentile([], 0.5) == 0.0
+    # Out-of-range fractions clamp instead of indexing out of bounds.
+    assert _percentile([1, 2], 1.5) == 2.0
+    assert _percentile([1, 2], -0.5) == 1.0
+
+
+def test_latency_stats_percentiles_pinned():
+    records = [rec("read", 0, 0, 1, i, i + 10 + i) for i in range(8)]
+    stats = latency_stats(records, "read")  # latencies 10..17
+    assert stats.p50 == pytest.approx(13.5)
+    assert stats.p95 == pytest.approx(16.65)
 
 
 def test_bytes_transferred():
@@ -93,3 +122,44 @@ def test_tree_arbitration_is_fair():
     )
     index = fairness_index(list(shares.values()))
     assert index > 0.99
+
+
+def _synthetic_registry():
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter("sim/cycles_total").inc(1000)
+    reg.bind("sim/cycles_skipped", lambda: 750, volatile=True)
+    reg.counter("dram/mc/bus_cycles").inc(400)
+    reg.counter("dram/mc/row_hits").inc(90)
+    reg.counter("dram/mc/row_misses").inc(10)
+    reg.counter("noc/root/forwarded_ar").inc(5)
+    reg.counter("noc/root/forwarded_r").inc(20)
+    reg.counter("noc/leaf0/forwarded_w").inc(8)
+    hist = reg.histogram("runtime/server/lock_wait_hist")
+    hist.observe(4)
+    hist.observe(8)
+    return reg
+
+
+def test_registry_backed_views():
+    reg = _synthetic_registry()
+    assert dram_bus_utilisation(reg) == pytest.approx(0.4)
+    assert dram_row_hit_rate(reg) == pytest.approx(0.9)
+    assert skip_fraction(reg) == pytest.approx(0.75)
+    assert noc_link_beats(reg) == {"root": 25, "leaf0": 8}
+    frame = registry_frame(reg, "runtime")
+    assert frame["runtime/server/lock_wait_hist/count"] == 2.0
+    assert frame["runtime/server/lock_wait_hist/mean"] == pytest.approx(6.0)
+    assert registry_frame(reg)["dram/mc/bus_cycles"] == 400.0
+
+
+def test_registry_backed_views_empty():
+    from repro.obs.registry import MetricRegistry
+
+    reg = MetricRegistry()
+    assert dram_bus_utilisation(reg) == 0.0
+    assert dram_row_hit_rate(reg) == 0.0
+    assert skip_fraction(reg) == 0.0
+    assert noc_link_beats(reg) == {}
+    assert registry_frame(reg) == {}

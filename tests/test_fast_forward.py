@@ -44,6 +44,12 @@ def _txn_records(design):
     ]
 
 
+def _stable_metrics(design):
+    """The full registry dump minus volatile entries (skip accounting and
+    trace-event counts, which legitimately differ between schedules)."""
+    return design.registry.dump(stable_only=True)
+
+
 def _assert_equivalent(naive, fast):
     """Compare the observable outcome dicts of a naive and a fast run."""
     assert fast["cycle"] == naive["cycle"]
@@ -51,6 +57,11 @@ def _assert_equivalent(naive, fast):
     assert fast["records"] == naive["records"]
     assert fast["responses"] == naive["responses"]
     assert fast["data"] == naive["data"]
+    # Every stable metric in the unified registry — channel occupancy
+    # integrals, DRAM counters, NoC forward counts, runtime-server stats,
+    # span counts — must be bit-identical between the two schedules.
+    assert fast["metrics"] == naive["metrics"]
+    assert fast["metrics"], "registry dump unexpectedly empty"
     # The whole point: the fast run skipped, the naive run never does.
     assert naive["skipped"] == 0
     assert fast["skipped"] > 0
@@ -86,6 +97,7 @@ def _run_memcpy(fast_forward):
         "records": _txn_records(build.design),
         "responses": [resp.latency_cycles],
         "data": dst.read() == pattern,
+        "metrics": _stable_metrics(build.design),
         "skipped": build.design.sim.cycles_skipped,
     }
 
@@ -188,6 +200,7 @@ def _run_multichannel(fast_forward):
         "records": _txn_records(build.design),
         "responses": [resp.latency_cycles],
         "data": bool((got == (a ^ b)).all()),
+        "metrics": _stable_metrics(build.design),
         "skipped": build.design.sim.cycles_skipped,
     }
 
@@ -230,6 +243,7 @@ def _run_server(fast_forward):
             server.busy_cycles,
             {k: tuple(v) for k, v in server.client_lock_waits.items()},
         ),
+        "metrics": _stable_metrics(build.design),
         "skipped": build.design.sim.cycles_skipped,
     }
 
