@@ -8,21 +8,27 @@ short bursts.  This bench sweeps burst length with and without TLP.
 
 import pytest
 
-from repro.baselines.memcpy_experiment import run_beethoven_memcpy
+from repro.farm import Farm, Job
 
 SIZE = 262144
 
 
 @pytest.fixture(scope="module")
 def burst_sweep():
-    out = {}
-    for burst in (16, 32, 64):
-        for tlp in (True, False):
-            out[(burst, tlp)] = run_beethoven_memcpy(
-                SIZE, tlp=tlp, burst_beats=burst,
-                label=f"b{burst}-{'tlp' if tlp else 'notlp'}",
-            )
-    return out
+    # The six (burst, tlp) points are independent pure builds: shard them
+    # across the farm's worker pool instead of evaluating serially.
+    grid = [(burst, tlp) for burst in (16, 32, 64) for tlp in (True, False)]
+    jobs = [
+        Job(
+            "repro.baselines.memcpy_experiment:run_beethoven_memcpy",
+            (SIZE,),
+            {"tlp": tlp, "burst_beats": burst,
+             "label": f"b{burst}-{'tlp' if tlp else 'notlp'}"},
+            label=f"burst/b{burst}-{'tlp' if tlp else 'notlp'}",
+        )
+        for burst, tlp in grid
+    ]
+    return dict(zip(grid, Farm(cache=False).map(jobs)))
 
 
 def test_ablation_burst_length(benchmark, burst_sweep):

@@ -9,6 +9,7 @@ on and off and compare the outcome.
 
 import pytest
 
+from repro.farm import Farm, Job
 from repro.fpga import MemcellMapper, make_vu9p_aws_f1
 from repro.hdl.ir import HdlMemory
 
@@ -18,17 +19,23 @@ def _demand(n_mems: int):
     return [HdlMemory(f"sp{i}", 512, 640) for i in range(n_mems)]
 
 
+def _mapping_outcome(spill: bool):
+    """Farm job: map the full demand with the spill rule on or off."""
+    device = make_vu9p_aws_f1()
+    mapper = MemcellMapper(device, spill_enabled=spill)
+    mems = _demand(52)  # 52 x 15 BRAM = 780 > one SLR's 720 BRAM
+    for mem in mems:
+        mapper.map_memory(mem, slr=2, path=mem.name)
+    return mapper, mems
+
+
 @pytest.fixture(scope="module")
 def mapping_outcomes():
-    out = {}
-    for spill in (True, False):
-        device = make_vu9p_aws_f1()
-        mapper = MemcellMapper(device, spill_enabled=spill)
-        mems = _demand(52)  # 52 x 15 BRAM = 780 > one SLR's 720 BRAM
-        for mem in mems:
-            mapper.map_memory(mem, slr=2, path=mem.name)
-        out[spill] = (mapper, mems)
-    return out
+    # Two independent mapping runs, one farm job each.
+    farm = Farm(cache=False)
+    jobs = [Job(_mapping_outcome, (spill,), label=f"memcells/spill{spill}")
+            for spill in (True, False)]
+    return dict(zip((True, False), farm.map(jobs)))
 
 
 def test_ablation_memcell_spill(benchmark, mapping_outcomes):

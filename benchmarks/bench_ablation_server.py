@@ -9,7 +9,8 @@ low-latency kernels.
 
 import pytest
 
-from repro.kernels.machsuite.fig6 import dispatch_cost_cycles, simulate_measured
+from repro.farm import Farm, Job
+from repro.kernels.machsuite.fig6 import dispatch_cost_cycles
 from repro.platforms import AWSF1Platform, kernel_mode
 
 N_CORES = 16
@@ -18,16 +19,29 @@ LATENCIES = (500, 2_000, 8_000)
 
 @pytest.fixture(scope="module")
 def server_sweep():
+    # Six independent runtime-server simulations (3 latencies x 2 server
+    # modes), sharded across the farm's worker pool.
     user = AWSF1Platform(clock_mhz=125.0)
     kernel = kernel_mode(user)
-    out = {}
-    for latency in LATENCIES:
-        out[latency] = {
-            "user": simulate_measured(N_CORES, latency, user, rounds=3),
-            "kernel": simulate_measured(N_CORES, latency, kernel, rounds=3),
+    grid = [(latency, mode) for latency in LATENCIES for mode in ("user", "kernel")]
+    jobs = [
+        Job(
+            "repro.kernels.machsuite.fig6:simulate_measured",
+            (N_CORES, latency, user if mode == "user" else kernel),
+            {"rounds": 3},
+            label=f"server/{mode}/l{latency}",
+        )
+        for latency, mode in grid
+    ]
+    measured = dict(zip(grid, Farm(cache=False).map(jobs)))
+    return {
+        latency: {
+            "user": measured[(latency, "user")],
+            "kernel": measured[(latency, "kernel")],
             "ideal": N_CORES * 125e6 / latency,
         }
-    return out
+        for latency in LATENCIES
+    }
 
 
 def test_ablation_server_mode(benchmark, server_sweep):

@@ -10,9 +10,9 @@ extra latency costs almost nothing in delivered throughput.
 import pytest
 
 from repro.core import BeethovenBuild, BuildMode
+from repro.farm import Farm, Job
 from repro.fpga import routability_report
 from repro.kernels.attention import a3_config
-from repro.kernels.attention.table3 import run_beethoven_a3
 from repro.noc import TreeConfig
 from repro.platforms import AWSF1Platform
 from dataclasses import replace
@@ -29,49 +29,71 @@ def _platform(slr_aware: bool) -> object:
     return replace(base, tree_config=tree)
 
 
+def _network_outcome(slr_aware: bool) -> dict:
+    """Farm job: build the 23-core A^3 network and return the derived facts
+    (a build holds a live simulator, so the job ships numbers, not objects)."""
+    build = BeethovenBuild(a3_config(23), _platform(slr_aware), BuildMode.Simulation)
+    out = {
+        "n_nodes": build.design.network.n_nodes,
+        "n_pipes": build.design.network.n_pipes,
+        "max_fanout": build.design.network.max_fanout,
+        "feasible": build.routability.feasible,
+        "reasons": list(build.routability.reasons),
+    }
+    if not slr_aware:
+        report = routability_report(
+            build.platform.device,
+            build.placement,
+            interconnect_per_slr=build.resource_report.interconnect_per_slr,
+            max_fanout=build.design.network.max_fanout,
+            unbuffered_crossings=build.design.network.n_crossings
+            or len({s for s in build.placement.assignment.values()}) - 1,
+            constraints_emitted=False,
+        )
+        out["feasible"] = report.feasible
+        out["reasons"] = list(report.reasons)
+    return out
+
+
 @pytest.fixture(scope="module")
-def builds():
-    aware = BeethovenBuild(a3_config(23), _platform(True), BuildMode.Simulation)
-    naive = BeethovenBuild(a3_config(23), _platform(False), BuildMode.Simulation)
+def outcomes():
+    farm = Farm(cache=False)
+    jobs = [Job(_network_outcome, (aware,), label=f"slr/aware{aware}")
+            for aware in (True, False)]
+    aware, naive = farm.map(jobs)
     return aware, naive
 
 
-def test_ablation_slr_structure(benchmark, builds):
-    aware, naive = benchmark.pedantic(lambda: builds, rounds=1, iterations=1)
+def test_ablation_slr_structure(benchmark, outcomes):
+    aware, naive = benchmark.pedantic(lambda: outcomes, rounds=1, iterations=1)
     print()
     print(
-        f"SLR-aware: {aware.design.network.n_nodes} nodes, "
-        f"{aware.design.network.n_pipes} bridges, max fanout "
-        f"{aware.design.network.max_fanout} -> feasible={aware.routability.feasible}"
-    )
-    naive_report = routability_report(
-        naive.platform.device,
-        naive.placement,
-        interconnect_per_slr=naive.resource_report.interconnect_per_slr,
-        max_fanout=naive.design.network.max_fanout,
-        unbuffered_crossings=naive.design.network.n_crossings
-        or len({s for s in naive.placement.assignment.values()}) - 1,
-        constraints_emitted=False,
+        f"SLR-aware: {aware['n_nodes']} nodes, {aware['n_pipes']} bridges, "
+        f"max fanout {aware['max_fanout']} -> feasible={aware['feasible']}"
     )
     print(
-        f"naive flat: {naive.design.network.n_nodes} nodes, max fanout "
-        f"{naive.design.network.max_fanout} -> feasible={naive_report.feasible}"
-        f" ({'; '.join(naive_report.reasons)})"
+        f"naive flat: {naive['n_nodes']} nodes, max fanout "
+        f"{naive['max_fanout']} -> feasible={naive['feasible']}"
+        f" ({'; '.join(naive['reasons'])})"
     )
     # The SLR-aware network bounds fanout and buffers crossings; the naive
     # single crossbar has a 92-way arbiter and unbuffered die crossings.
-    assert aware.routability.feasible
-    assert aware.design.network.max_fanout <= 8
-    assert naive.design.network.max_fanout == 92
-    assert not naive_report.feasible
+    assert aware["feasible"]
+    assert aware["max_fanout"] <= 8
+    assert naive["max_fanout"] == 92
+    assert not naive["feasible"]
 
 
 def test_ablation_slr_throughput_cost(benchmark):
     """Buffered crossings add latency, not bandwidth: throughput holds."""
+    job = Job(
+        "repro.kernels.attention.table3:run_beethoven_a3",
+        (),
+        {"n_cores": 4, "queries_per_core": 32},
+        label="slr/throughput",
+    )
     result = benchmark.pedantic(
-        lambda: run_beethoven_a3(n_cores=4, queries_per_core=32),
-        rounds=1,
-        iterations=1,
+        lambda: Farm(cache=False).map([job])[0], rounds=1, iterations=1
     )
     print(f"\n4-core SLR-aware: {result.cycles_per_query_per_core:.0f} cyc/q/core")
     assert result.verified

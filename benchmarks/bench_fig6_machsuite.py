@@ -35,7 +35,11 @@ def test_table1_workloads(benchmark):
 
 @pytest.fixture(scope="module")
 def fig6_rows():
-    return fig6_all(max_cores=48)
+    # Rows shard across farm workers; results are bit-identical to the
+    # serial path (each row is a pure function of bench/platform/max_cores).
+    from repro.farm import Farm
+
+    return fig6_all(max_cores=48, farm=Farm(cache=False))
 
 
 def test_fig6_machsuite(benchmark, fig6_rows):

@@ -14,8 +14,9 @@ Run:  python examples/multicore_scaling.py
 import numpy as np
 
 from repro.core import BeethovenBuild
+from repro.farm import Farm, Job
 from repro.kernels.machsuite import stencil3d_config
-from repro.kernels.machsuite.fig6 import dispatch_cost_cycles, simulate_measured
+from repro.kernels.machsuite.fig6 import dispatch_cost_cycles
 from repro.kernels.machsuite.reference import stencil3d
 from repro.platforms import AWSF1Platform, SimulationPlatform
 from repro.runtime import FpgaHandle
@@ -58,11 +59,27 @@ def contention_demo() -> None:
     n_cores = 16
     d = dispatch_cost_cycles(platform)
     print(f"   per-command host dispatch cost: {d} cycles; {n_cores} cores")
-    print(f"   {'kernel cycles':>14} {'measured/ideal':>15}")
-    for latency in (500, 2_000, 8_000, 32_000):
-        measured = simulate_measured(n_cores, latency, platform, rounds=3)
+    # The four latency points are independent simulations: shard them across
+    # the farm's worker pool (repeat runs are served from its result cache).
+    latencies = (500, 2_000, 8_000, 32_000)
+    farm = Farm()
+    jobs = [
+        Job(
+            "repro.kernels.machsuite.fig6:simulate_measured",
+            (n_cores, latency, platform),
+            {"rounds": 3},
+            label=f"contention/l{latency}",
+        )
+        for latency in latencies
+    ]
+    print(f"   {'kernel cycles':>14} {'measured/ideal':>15} {'source':>8}")
+    for latency, res in zip(latencies, farm.run(jobs)):
         ideal = n_cores * platform.clock_mhz * 1e6 / latency
-        print(f"   {latency:>14} {measured.ops_per_second / ideal:>14.1%}")
+        source = "cache" if res.cache_hit else res.worker
+        print(
+            f"   {latency:>14} {res.value.ops_per_second / ideal:>14.1%} "
+            f"{source:>8}"
+        )
     print("   (low-latency kernels contend for the server lock; long kernels don't)")
 
 

@@ -160,6 +160,63 @@ def noc_link_beats(registry) -> Dict[str, int]:
     return totals
 
 
+# ---------------------------------------------------------------------------
+# Sweep views (see :mod:`repro.dse` and :mod:`repro.farm`).
+#
+# DesignPoints carry their own provenance — build wall-time, cache hit/miss,
+# worker id — so sweep reports can show *where the time went* without
+# holding the farm that produced them.
+# ---------------------------------------------------------------------------
+
+
+def sweep_frame(points: Sequence) -> Dict[str, float]:
+    """Scalar summary of a sweep: frontier, build cost, cache effectiveness.
+
+    ``build_seconds`` on a cache-served point is the original compute time
+    stored with the entry, so ``build_seconds_saved`` is real time the cache
+    returned to the caller.
+    """
+    built = [p for p in points if not getattr(p, "cache_hit", False)]
+    hits = [p for p in points if getattr(p, "cache_hit", False)]
+    feasible = [p.n_cores for p in points if p.feasible]
+    return {
+        "points": float(len(points)),
+        "built": float(len(built)),
+        "cache_hits": float(len(hits)),
+        "cache_hit_rate": len(hits) / len(points) if points else 0.0,
+        "build_seconds_spent": sum(getattr(p, "build_seconds", 0.0) for p in built),
+        "build_seconds_saved": sum(getattr(p, "build_seconds", 0.0) for p in hits),
+        "max_feasible_cores": float(max(feasible)) if feasible else 0.0,
+    }
+
+
+def render_sweep_report(points: Sequence) -> str:
+    """Human-readable sweep table with per-point provenance and a footer."""
+    lines = [
+        f"{'cores':>5} {'feasible':>8} {'worst util':>10} {'build s':>8} "
+        f"{'source':>8} {'limited by':<30}"
+    ]
+    for p in sorted(points, key=lambda p: p.n_cores):
+        source = "cache" if getattr(p, "cache_hit", False) else (
+            getattr(p, "worker", "") or "local"
+        )
+        reasons = "; ".join(p.reasons[:1]) if p.reasons else "-"
+        lines.append(
+            f"{p.n_cores:>5} {'yes' if p.feasible else 'NO':>8} "
+            f"{p.worst_util:>9.1%} {getattr(p, 'build_seconds', 0.0):>8.3f} "
+            f"{source:>8} {reasons:<30}"
+        )
+    f = sweep_frame(points)
+    lines.append(
+        f"frontier: {f['max_feasible_cores']:.0f} cores | "
+        f"built {f['built']:.0f}/{f['points']:.0f} points in "
+        f"{f['build_seconds_spent']:.2f}s | cache served "
+        f"{f['cache_hits']:.0f} ({f['cache_hit_rate']:.0%}), saving "
+        f"{f['build_seconds_saved']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
 def fairness_index(values: Sequence[float]) -> float:
     """Jain's fairness index: 1.0 = perfectly fair, 1/n = one master hogs."""
     vals = [float(v) for v in values]

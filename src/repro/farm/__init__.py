@@ -1,0 +1,38 @@
+"""``repro.farm`` — sharded build/sweep execution with a result cache.
+
+The paper's workflow is *composition at scale*: sweep ``n_cores`` per System
+until the feasibility model binds, then repeat for every platform and
+ablation.  Each design point is a pure function of (configuration,
+platform, build mode), so the farm treats evaluation as a job graph:
+
+* :mod:`repro.farm.fingerprint` — deterministic content fingerprints for
+  jobs (canonical serialisation of the payload plus a code-version salt);
+* :mod:`repro.farm.cache` — an on-disk content-addressed store keyed by
+  those fingerprints;
+* :mod:`repro.farm.pool` — a multiprocess worker pool with per-job
+  timeouts, bounded retry-with-backoff on worker crash, and graceful
+  degradation to in-process serial execution;
+* :mod:`repro.farm.engine` — the :class:`Farm` facade that glues cache and
+  pool together and registers provenance metrics/spans with
+  :mod:`repro.obs`.
+"""
+
+from repro.farm.cache import ResultCache
+from repro.farm.engine import Farm, FarmJobError
+from repro.farm.fingerprint import canonical, code_salt, job_fingerprint
+from repro.farm.job import Job, JobResult
+from repro.farm.pool import SerialPool, WorkerPool, current_attempt
+
+__all__ = [
+    "Farm",
+    "FarmJobError",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "SerialPool",
+    "WorkerPool",
+    "canonical",
+    "code_salt",
+    "current_attempt",
+    "job_fingerprint",
+]

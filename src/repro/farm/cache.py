@@ -1,0 +1,122 @@
+"""On-disk content-addressed result cache.
+
+Entries are keyed by the job fingerprint (see
+:mod:`repro.farm.fingerprint`): entry ``<fp>`` lives at
+``<root>/<fp[:2]>/<fp[2:]>.pkl`` — the two-character fan-out keeps
+directories small for large sweeps.  Each file is a pickled envelope
+``{"fingerprint", "value", "meta"}`` written atomically (temp file +
+``os.replace``), so concurrent farms sharing one cache directory never
+observe torn entries; a corrupt or unreadable entry is treated as a miss
+and deleted.
+
+The cache never interprets values — anything picklable can be stored — and
+it keeps session hit/miss counters that :class:`repro.farm.engine.Farm`
+surfaces as ``farm/cache/*`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class ResultCache:
+    """Content-addressed pickle store rooted at ``root``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -------------------------------------------------------------- layout
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], fingerprint[2:] + ".pkl")
+
+    def entries(self) -> Iterator[str]:
+        """Yield every stored fingerprint."""
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl"):
+                    yield shard + name[: -len(".pkl")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self.path_for(fingerprint))
+
+    # -------------------------------------------------------------- access
+    def get(self, fingerprint: str) -> Tuple[bool, Any, Dict[str, Any]]:
+        """Look up one entry: ``(hit, value, meta)``."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "rb") as f:
+                envelope = pickle.load(f)
+            if envelope.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None, {}
+        except Exception:
+            # Corrupt entry: drop it and recompute.
+            self.invalidate(fingerprint)
+            self.misses += 1
+            return False, None, {}
+        self.hits += 1
+        return True, envelope.get("value"), dict(envelope.get("meta") or {})
+
+    def put(self, fingerprint: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> str:
+        """Store ``value`` under ``fingerprint`` atomically; returns the path."""
+        path = self.path_for(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        envelope = {"fingerprint": fingerprint, "value": value, "meta": dict(meta or {})}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Remove one entry; True if it existed."""
+        try:
+            os.unlink(self.path_for(fingerprint))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for fp in list(self.entries()):
+            removed += self.invalidate(fp)
+        return removed
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        entries = list(self.entries())
+        total_bytes = 0
+        for fp in entries:
+            try:
+                total_bytes += os.path.getsize(self.path_for(fp))
+            except OSError:
+                pass
+        lookups = self.hits + self.misses
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

@@ -1,0 +1,350 @@
+"""Worker pools: multiprocess sharding with a serial in-process fallback.
+
+:class:`WorkerPool` shards jobs across ``n_workers`` OS processes.  The
+supervisor owns one inbox/outbox queue pair per worker (private queues mean
+a killed worker can never corrupt a sibling's channel) and enforces the
+farm's failure policy:
+
+* **per-job timeout** — a job that exceeds its deadline has its worker
+  terminated and is marked failed immediately; siblings keep running and
+  the worker slot is respawned;
+* **crash retry with backoff** — a worker that dies mid-job (OOM-kill,
+  ``os._exit``, segfault in an extension) gets its job requeued with
+  exponential backoff, up to ``max_attempts``; the attempt number is
+  visible to job code via :func:`current_attempt`;
+* **fail-fast on exceptions** — an ordinary Python exception is a property
+  of the job, not the infrastructure, so it is reported once and not
+  retried.
+
+Jobs whose payload cannot be pickled (e.g. a sweep over closures) degrade
+gracefully: they run inline in the supervisor process and are labelled
+``worker="inline"``.  When multiprocessing itself is unavailable — or
+``n_workers <= 1`` — :class:`SerialPool` provides the same interface fully
+in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.farm.job import Job, resolve_fn
+
+_ATTEMPT_ENV = "REPRO_FARM_ATTEMPT"
+_WORKER_ENV = "REPRO_FARM_WORKER"
+
+#: Supervisor poll interval while waiting on workers.
+_POLL_S = 0.02
+
+
+def current_attempt() -> int:
+    """Attempt number (1-based) of the job executing in this process."""
+    try:
+        return int(os.environ.get(_ATTEMPT_ENV, "1"))
+    except ValueError:
+        return 1
+
+
+def current_worker() -> str:
+    """Worker id executing this job ("serial" outside a pool worker)."""
+    return os.environ.get(_WORKER_ENV, "serial")
+
+
+@dataclass
+class PoolOutcome:
+    """What the pool learned about one job (no cache involvement here)."""
+
+    value: Any = None
+    ok: bool = False
+    error: Optional[str] = None
+    worker: str = ""
+    wall_seconds: float = 0.0
+    attempts: int = 1
+    timed_out: bool = False
+    crashes: int = 0
+
+
+def _execute(job: Job, attempt: int, worker: str) -> PoolOutcome:
+    """Run one job in the current process, timing it and trapping errors."""
+    os.environ[_ATTEMPT_ENV] = str(attempt)
+    os.environ[_WORKER_ENV] = worker
+    t0 = time.perf_counter()
+    try:
+        fn = resolve_fn(job.fn)
+        value = fn(*job.args, **job.kwargs)
+        return PoolOutcome(
+            value=value,
+            ok=True,
+            worker=worker,
+            wall_seconds=time.perf_counter() - t0,
+            attempts=attempt,
+        )
+    except Exception as exc:  # noqa: BLE001 — job errors become data
+        return PoolOutcome(
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            worker=worker,
+            wall_seconds=time.perf_counter() - t0,
+            attempts=attempt,
+        )
+
+
+def _worker_main(worker_id: str, inbox, outbox) -> None:
+    """Worker process body: execute payloads until the ``None`` sentinel."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        seq, job, attempt = item
+        outcome = _execute(job, attempt, worker_id)
+        outbox.put((seq, outcome))
+
+
+class SerialPool:
+    """In-process execution with the :class:`WorkerPool` interface.
+
+    Used when multiprocessing is unavailable or ``n_workers <= 1``.  Jobs
+    run to completion in submission order; timeouts cannot be enforced on
+    the current thread and are therefore advisory only (documented
+    degradation, never wrong results).
+    """
+
+    n_workers = 1
+
+    def __init__(
+        self,
+        default_timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+    ) -> None:
+        self.default_timeout_s = default_timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+
+    def run(self, jobs: Sequence[Job]) -> List[PoolOutcome]:
+        return [_execute(job, 1, "serial") for job in jobs]
+
+
+@dataclass
+class _Slot:
+    """One worker process and its private queues."""
+
+    worker_id: str
+    process: Any
+    inbox: Any
+    outbox: Any
+    seq: Optional[int] = None  # seq of the task currently assigned
+    deadline: float = 0.0
+
+
+@dataclass
+class _Task:
+    seq: int
+    job: Job
+    attempts: int = 0
+    crashes: int = 0
+    eligible_at: float = 0.0  # backoff gate for retries
+
+
+def _payload_picklable(job: Job) -> bool:
+    try:
+        pickle.dumps((job.fn, job.args, job.kwargs))
+        return True
+    except Exception:
+        return False
+
+
+def multiprocessing_context():
+    """The context used for workers: ``fork`` where available (it needs no
+    re-import of job modules), else the platform default."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def multiprocessing_available() -> bool:
+    """True when this interpreter can actually spawn workers and queues."""
+    try:
+        ctx = multiprocessing_context()
+        q = ctx.Queue()
+        q.cancel_join_thread()
+        q.close()
+        return True
+    except Exception:  # pragma: no cover — sandboxed /dev/shm etc.
+        return False
+
+
+class WorkerPool:
+    """Shard jobs across worker processes with timeouts and crash retry."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        default_timeout_s: Optional[float] = 300.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.default_timeout_s = default_timeout_s
+        self.max_attempts = max(max_attempts, 1)
+        self.backoff_base_s = backoff_base_s
+        self._ctx = multiprocessing_context()
+
+    # ---------------------------------------------------------- lifecycle
+    def _spawn(self, worker_id: str) -> _Slot:
+        inbox = self._ctx.Queue()
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main, args=(worker_id, inbox, outbox), daemon=True
+        )
+        process.start()
+        return _Slot(worker_id, process, inbox, outbox)
+
+    @staticmethod
+    def _discard(slot: _Slot, kill: bool = False) -> None:
+        if kill and slot.process.is_alive():
+            slot.process.terminate()
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():  # pragma: no cover — stubborn child
+                slot.process.kill()
+                slot.process.join(timeout=2.0)
+        for q in (slot.inbox, slot.outbox):
+            q.cancel_join_thread()
+            q.close()
+
+    # ---------------------------------------------------------------- run
+    def run(self, jobs: Sequence[Job]) -> List[PoolOutcome]:
+        outcomes: Dict[int, PoolOutcome] = {}
+        tasks: Dict[int, _Task] = {}
+        ready: deque = deque()  # seqs awaiting dispatch
+
+        for seq, job in enumerate(jobs):
+            tasks[seq] = _Task(seq, job)
+            if _payload_picklable(job):
+                ready.append(seq)
+            else:
+                # Graceful degradation: closures and other unpicklable
+                # payloads run in this process.
+                outcomes[seq] = _execute(job, 1, "inline")
+
+        if len(outcomes) == len(jobs):
+            return [outcomes[seq] for seq in range(len(jobs))]
+
+        slots = [self._spawn(f"w{i}") for i in range(min(self.n_workers, len(ready)))]
+        next_worker = len(slots)
+
+        try:
+            while len(outcomes) < len(jobs):
+                progressed = False
+
+                # 1. Collect finished work first, so a result posted just
+                #    before a clean worker exit is never lost.
+                for slot in slots:
+                    while True:
+                        try:
+                            seq, outcome = slot.outbox.get_nowait()
+                        except Exception:
+                            break
+                        if slot.seq == seq:
+                            slot.seq = None
+                        if seq not in outcomes:
+                            outcome.attempts = tasks[seq].attempts
+                            outcome.crashes = tasks[seq].crashes
+                            outcomes[seq] = outcome
+                        progressed = True
+
+                # 2. Deadline and liveness policing.
+                now = time.monotonic()
+                for i, slot in enumerate(slots):
+                    if slot.seq is None:
+                        continue
+                    task = tasks[slot.seq]
+                    if not slot.process.is_alive():
+                        # Crash mid-job: respawn the slot, retry with backoff.
+                        self._discard(slot)
+                        slots[i] = self._spawn(f"w{next_worker}")
+                        next_worker += 1
+                        task.crashes += 1
+                        if task.attempts >= self.max_attempts:
+                            outcomes[task.seq] = PoolOutcome(
+                                ok=False,
+                                error=f"worker crashed on all {task.attempts} attempts",
+                                worker=slot.worker_id,
+                                attempts=task.attempts,
+                                crashes=task.crashes,
+                            )
+                        else:
+                            backoff = self.backoff_base_s * (2 ** (task.attempts - 1))
+                            task.eligible_at = now + backoff
+                            ready.append(task.seq)
+                        progressed = True
+                    elif now >= slot.deadline:
+                        # Hung job: kill the worker, fail the job, respawn the
+                        # slot so siblings keep flowing.
+                        self._discard(slot, kill=True)
+                        slots[i] = self._spawn(f"w{next_worker}")
+                        next_worker += 1
+                        timeout = self._timeout_of(task.job) or 0.0
+                        outcomes[task.seq] = PoolOutcome(
+                            ok=False,
+                            error=f"timed out after {timeout:.1f}s",
+                            worker=slot.worker_id,
+                            wall_seconds=timeout,
+                            attempts=task.attempts,
+                            timed_out=True,
+                            crashes=task.crashes,
+                        )
+                        progressed = True
+
+                # 3. Hand eligible tasks to idle workers.
+                now = time.monotonic()
+                for slot in slots:
+                    if slot.seq is not None or not ready:
+                        continue
+                    seq = self._pop_eligible(ready, tasks, now)
+                    if seq is None:
+                        continue
+                    task = tasks[seq]
+                    task.attempts += 1
+                    slot.seq = seq
+                    timeout = self._timeout_of(task.job)
+                    slot.deadline = now + timeout if timeout else float("inf")
+                    slot.inbox.put((seq, task.job, task.attempts))
+                    progressed = True
+
+                if not progressed:
+                    time.sleep(_POLL_S)
+        finally:
+            for slot in slots:
+                try:
+                    slot.inbox.put_nowait(None)
+                except Exception:
+                    pass
+            for slot in slots:
+                slot.process.join(timeout=1.0)
+                self._discard(slot, kill=True)
+
+        return [outcomes[seq] for seq in range(len(jobs))]
+
+    # ------------------------------------------------------------- helpers
+    def _timeout_of(self, job: Job) -> Optional[float]:
+        return job.timeout_s if job.timeout_s is not None else self.default_timeout_s
+
+    @staticmethod
+    def _pop_eligible(ready: deque, tasks: Dict[int, _Task], now: float) -> Optional[int]:
+        """Next seq whose backoff has elapsed; rotates still-cooling tasks."""
+        for _ in range(len(ready)):
+            seq = ready.popleft()
+            if tasks[seq].eligible_at <= now:
+                return seq
+            ready.append(seq)
+        return None

@@ -50,6 +50,16 @@ CONFIG_FACTORIES: Dict[str, Callable[[int], object]] = {
 SIMULATION_CYCLE_BUDGET = 400_000
 
 
+def config_for(bench: str, n_cores: int):
+    """Importable (hence picklable) factory entry point for farm jobs.
+
+    ``functools.partial(config_for, bench)`` is the payload-safe equivalent
+    of the lambdas in :data:`CONFIG_FACTORIES`: worker processes resolve it
+    by name, so sweeps over Table I workloads shard cleanly.
+    """
+    return CONFIG_FACTORIES[bench](n_cores)
+
+
 def max_feasible_cores(bench: str, platform: Optional[Platform] = None, limit: int = 64):
     """Largest core count that passes the place/route feasibility model.
 
@@ -174,8 +184,28 @@ def fig6_row(bench: str, platform: Optional[Platform] = None, max_cores: int = 6
     )
 
 
-def fig6_all(platform: Optional[Platform] = None, max_cores: int = 64):
-    return [fig6_row(bench, platform, max_cores) for bench in CONFIG_FACTORIES]
+def fig6_all(platform: Optional[Platform] = None, max_cores: int = 64, farm=None):
+    """All Figure 6 rows; pass a :class:`repro.farm.Farm` to shard them.
+
+    ``fig6_row`` is a pure function of (bench, platform, max_cores), so the
+    farm path is bit-identical to the serial path — rows simply build in
+    parallel worker processes and repeat sweeps are served from the result
+    cache.
+    """
+    benches = list(CONFIG_FACTORIES)
+    if farm is None:
+        return [fig6_row(bench, platform, max_cores) for bench in benches]
+    from repro.farm import Job
+
+    jobs = [
+        Job(
+            "repro.kernels.machsuite.fig6:fig6_row",
+            (bench, platform, max_cores),
+            label=f"fig6/{bench}",
+        )
+        for bench in benches
+    ]
+    return farm.map(jobs)
 
 
 def render_fig6(rows) -> str:
