@@ -72,7 +72,7 @@ def test_fig6_machsuite(benchmark, fig6_rows):
     assert gaps[lowest] >= gaps[highest]
 
 
-def _sparse_delay_run(fast_forward):
+def _sparse_delay_run(scheduling):
     """One long-latency core on AWS F1, one command outstanding at a time —
     the sparse configuration (low core count, long poll interval) whose
     simulated cycles are almost entirely dead time."""
@@ -81,7 +81,7 @@ def _sparse_delay_run(fast_forward):
         delay_config(1, kernel_cycles),
         AWSF1Platform(),
         BuildMode.Simulation,
-        fast_forward=fast_forward,
+        scheduling=scheduling,
     )
     handle = FpgaHandle(build.design)
     t0 = time.perf_counter()
@@ -100,8 +100,8 @@ def test_fast_forward_sparse_speedup():
     The skip accounting is read back through the unified metric registry
     (``sim/*`` namespace) rather than from simulator internals.
     """
-    naive_cycle, naive_lat, naive_wall, naive_design = _sparse_delay_run(False)
-    fast_cycle, fast_lat, fast_wall, fast_design = _sparse_delay_run(True)
+    naive_cycle, naive_lat, naive_wall, naive_design = _sparse_delay_run("naive")
+    fast_cycle, fast_lat, fast_wall, fast_design = _sparse_delay_run("fast_forward")
     speedup = naive_wall / fast_wall
     print()
     print(f"naive: {naive_cycle} cycles in {naive_wall:.3f}s")
@@ -111,4 +111,25 @@ def test_fast_forward_sparse_speedup():
     assert fast_lat == naive_lat
     assert naive_design.registry.value("sim/cycles_skipped") == 0
     assert skip_fraction(fast_design.registry) > 0.9
+    assert speedup >= 3.0
+
+
+def test_selective_sparse_speedup():
+    """Selective scheduling matches naive cycle-for-cycle on the same sparse
+    configuration and is at least as fast as whole-design fast-forward (it
+    performs the same idle-window jumps, plus per-component elision on the
+    cycles it does step)."""
+    naive_cycle, naive_lat, naive_wall, _ = _sparse_delay_run("naive")
+    sel_cycle, sel_lat, sel_wall, sel_design = _sparse_delay_run("selective")
+    speedup = naive_wall / sel_wall
+    print()
+    print(f"naive    : {naive_cycle} cycles in {naive_wall:.3f}s")
+    print(f"selective: {sel_cycle} cycles in {sel_wall:.3f}s ({speedup:.1f}x)")
+    assert sel_cycle == naive_cycle
+    assert sel_lat == naive_lat
+    sim = sel_design.sim
+    executed = sum(sim.component_ticks(c) for c in sim._components)
+    elided_fraction = 1.0 - executed / (sim.cycle * len(sim._components))
+    print(f"elided component-tick fraction: {elided_fraction:.1%}")
+    assert elided_fraction > 0.9
     assert speedup >= 3.0

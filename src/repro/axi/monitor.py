@@ -136,6 +136,9 @@ class AxiMonitor(Component):
 
         return NEVER  # never self-schedules; endpoints drive the hooks
 
+    def wake_channels(self):
+        return []  # tick is a no-op under all conditions; hooks do the work
+
     @property
     def metric_path(self) -> str:
         return "axi/" + self.port_name

@@ -214,6 +214,16 @@ class CommandRouter(Component):
             nxt = min(nxt, max(cycle, self._resp_delay[0][0]))
         return nxt
 
+    def wake_channels(self):
+        # Besides its own queues, the router pushes into every adapter's
+        # cmd_in (freed space there unblocks delivery) and pops every
+        # adapter's resp_out (new responses there need collecting).
+        chans = [self.cmd_in, self.resp_out]
+        for entry in self._routes.values():
+            chans.append(entry.adapter.cmd_in)
+            chans.append(entry.adapter.resp_out)
+        return chans
+
 
 class MmioFrontend(Component):
     """The AXI-MMIO command/response system (paper Figure 1a).
@@ -256,3 +266,7 @@ class MmioFrontend(Component):
 
     def next_event(self, cycle: int) -> float:
         return NEVER  # purely reactive: word assembly and response encode pop channels
+
+    def wake_channels(self):
+        # Bridges its own word FIFOs to the router's instruction queues.
+        return [self.cmd_words, self.resp_words, self.router.cmd_in, self.router.resp_out]

@@ -90,3 +90,32 @@ class AcceleratorCore(Component):
     # -- behaviour ---------------------------------------------------------------
     def tick(self, cycle: int) -> None:  # pragma: no cover - abstract
         raise NotImplementedError("accelerator cores must implement tick()")
+
+    def wake_channels(self):
+        """Every channel a core's tick can legally touch, from the context.
+
+        Covers the declared command IOs, Reader/Writer queues, scratchpad
+        ports, and intra-core links, so a hinted core (one overriding
+        :meth:`~repro.sim.Component.next_event`) is woken by any traffic on
+        its primitives without naming them individually.  Direct reads of an
+        intra-core memory are covered separately by its access hook.
+        """
+        ctx = self.ctx
+        chans = []
+        for io in ctx.ios:
+            chans += [io.req, io.resp]
+        for readers in ctx.readers.values():
+            for r in readers:
+                chans += [r.request, r.data]
+        for writers in ctx.writers.values():
+            for w in writers:
+                chans += [w.request, w.data, w.done]
+        for sp in ctx.scratchpads.values():
+            chans += [sp.init, sp.init_done]
+            for port in sp.ports:
+                chans += [port.req, port.resp]
+        for imem in ctx.intra_in.values():
+            chans += [link.chan for link in imem.links]
+        for links in ctx.intra_out.values():
+            chans += [link.chan for link in links]
+        return chans

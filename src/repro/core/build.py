@@ -47,6 +47,7 @@ class BeethovenBuild:
         tracer: Optional[Tracer] = None,
         fast_forward: bool = True,
         observability: Optional["Observability"] = None,
+        scheduling: Optional[str] = None,
     ) -> None:
         self.platform = platform
         self.build_mode = build_mode
@@ -57,6 +58,7 @@ class BeethovenBuild:
             tracer,
             fast_forward=fast_forward,
             observability=observability,
+            scheduling=scheduling,
         )
         if build_mode is BuildMode.Synthesis:
             report = self.design.routability

@@ -99,6 +99,7 @@ class ElaboratedDesign:
         tracer: Optional[Tracer] = None,
         fast_forward: bool = True,
         observability: Optional["Observability"] = None,
+        scheduling: Optional[str] = None,
     ) -> None:
         from repro.obs import CommandSpanTracker, Observability
 
@@ -115,11 +116,19 @@ class ElaboratedDesign:
         self.span_tracker = (
             CommandSpanTracker(self.tracer) if self.observability.enabled else None
         )
+        # Built designs default to the per-component selective scheduler:
+        # every framework component declares wake channels and hints, and
+        # unhinted user cores are still ticked every cycle.  ``scheduling``
+        # overrides explicitly ("naive"/"fast_forward"/"selective"), e.g. for
+        # the differential harness; ``fast_forward=False`` keeps its legacy
+        # meaning of plain naive stepping.
+        if scheduling is None:
+            scheduling = "selective" if fast_forward else "naive"
         self.sim = Simulator(
             "beethoven",
-            fast_forward=fast_forward,
             tracer=self.tracer,
             profile=self.observability.profile,
+            scheduling=scheduling,
         )
         self.estimator = ResourceEstimator()
         self.systems: List[ElaboratedSystem] = []

@@ -57,6 +57,10 @@ class IntraCoreBroadcast(Component):
     def next_event(self, cycle: int) -> float:
         return NEVER  # purely reactive: forwarding pops the input channel
 
+    def wake_channels(self):
+        # Forwarding needs space in every sink link, none of which it owns.
+        return [self.input.chan] + [s.chan for s in self.sinks]
+
 
 class IntraCoreMemory(Component):
     """The receiving-side memory: drains write links into an SRAM.
@@ -90,6 +94,10 @@ class IntraCoreMemory(Component):
         )
         self.read_only_local = read_only_local
         self.writes_applied = 0
+        # The local core reads ``mem`` directly (no channel crossing), which
+        # the wake sets cannot see; the access hook re-wakes this component
+        # so the read pipeline keeps getting clocked.
+        self.mem.on_activity = self.request_wake
 
     def channels(self):
         return [link.chan for link in self.links]

@@ -375,6 +375,12 @@ class MemoryController(Component):
             return
 
     # ----------------------------------------------------------- event skipping
+    def wake_channels(self):
+        # The AXI slave port channels belong to the monitor wrapper, not this
+        # component; request arrivals (and freed R/B space) on them are the
+        # only external events that unblock the controller.
+        return self.port.channels()
+
     def next_event(self, cycle: int) -> float:
         """Earliest cycle this controller can make progress without new
         channel traffic.

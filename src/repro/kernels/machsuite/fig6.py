@@ -106,12 +106,24 @@ def analytic_measured(
 
 
 def simulate_measured(
-    n_cores: int, kernel_cycles: int, platform: Optional[Platform] = None, rounds: int = 3
+    n_cores: int,
+    kernel_cycles: int,
+    platform: Optional[Platform] = None,
+    rounds: int = 3,
+    scheduling: Optional[str] = None,
 ) -> ContentionResult:
-    """Measure multi-core throughput through the real runtime-server model."""
+    """Measure multi-core throughput through the real runtime-server model.
+
+    ``scheduling`` overrides the kernel schedule (default: selective); the
+    result is schedule-independent — the differential harness pins that down
+    on these exact configurations.
+    """
     platform = platform or AWSF1Platform(clock_mhz=BEETHOVEN_CLOCK_MHZ)
     build = BeethovenBuild(
-        delay_config(n_cores, kernel_cycles), platform, BuildMode.Simulation
+        delay_config(n_cores, kernel_cycles),
+        platform,
+        BuildMode.Simulation,
+        scheduling=scheduling,
     )
     handle = FpgaHandle(build.design)
     futures = []

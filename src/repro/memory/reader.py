@@ -206,14 +206,20 @@ class Reader(Component):
         """AR issue is self-scheduled (issue-gap FSM); everything else —
         request intake, R-beat collection, freed buffer space — arrives as
         channel traffic, and delivery of already-collected bytes is flagged
-        as an immediate event."""
+        as an immediate event.  Both terms are gated on the output channel
+        actually having room: a stalled Reader sleeps until the pop that
+        frees space wakes it (the AR and data channels are in its wake set).
+        """
         nxt = NEVER
         if self._pending and self._in_flight < self.tuning.max_in_flight:
             sub = self._pending[0]
             burst_bytes = sub.beats * self.port.params.beat_bytes
-            if self._reserved_bytes + burst_bytes <= self.tuning.buffer_bytes:
+            if (
+                self._reserved_bytes + burst_bytes <= self.tuning.buffer_bytes
+                and self.port.ar.can_push()
+            ):
                 nxt = min(nxt, max(cycle, self._next_ar_cycle))
-        if self._deliverable():
+        if self._deliverable() and self.data.can_push():
             nxt = min(nxt, cycle)
         return nxt
 

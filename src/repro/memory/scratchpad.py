@@ -25,7 +25,15 @@ class Memory:
     The owning core drives ports during its ``tick`` via :meth:`read` /
     :meth:`write`; read data appears ``latency`` calls to :meth:`clock` later
     and is fetched with :meth:`rdata`.  One access per port per cycle.
+
+    ``on_activity`` (optional) is invoked on every :meth:`read`/:meth:`write`.
+    The component that clocks this memory sets it to its own
+    :meth:`~repro.sim.Component.request_wake` so that a *different* component
+    accessing the memory directly (non-channel coupling, invisible to the
+    selective scheduler's wake sets) still re-wakes the clocking component.
     """
+
+    on_activity = None
 
     def __init__(
         self,
@@ -64,6 +72,8 @@ class Memory:
             raise IndexError(f"{self.name}: row {row} out of range")
         self._read_used[port] = True
         self._pipes[port][-1] = self._cells[row]
+        if self.on_activity is not None:
+            self.on_activity()
 
     def write(self, port: int, row: int, value: int) -> None:
         if self._write_used[port]:
@@ -72,6 +82,8 @@ class Memory:
             raise IndexError(f"{self.name}: row {row} out of range")
         self._write_used[port] = True
         self._cells[row] = value & self._mask
+        if self.on_activity is not None:
+            self.on_activity()
 
     def rdata(self, port: int) -> Optional[int]:
         """Data for the read issued exactly ``latency`` clocks ago."""
@@ -132,6 +144,9 @@ class Scratchpad(Component):
             latency, data_width_bits, n_datas, n_read_ports=n_ports, n_write_ports=1,
             name=f"{name}.mem",
         )
+        # Direct (non-channel) accesses to the backing memory must re-wake
+        # this component so the read pipeline keeps getting clocked.
+        self.mem.on_activity = self.request_wake
         self.ports = [ScratchpadPort(f"{name}.p{i}") for i in range(n_ports)]
         self.with_init = with_init
         self.reader: Optional[Reader] = None

@@ -241,11 +241,19 @@ class Writer(Component):
         """AW issue is self-scheduled (issue-gap FSM); burst release from the
         staging buffer, W streaming of accepted bursts and the final done
         token are immediate events on internal state; data/request intake
-        and B collection are channel traffic."""
+        and B collection are channel traffic.  Channel-blocked terms (AW/W
+        pushes, the done token) are gated on space actually being available:
+        the pop that frees it wakes the Writer through its wake set.  Burst
+        release stays ungated — it only moves bytes between internal queues.
+        """
         nxt = NEVER
-        if self._issue_q and self._in_flight < self.tuning.max_in_flight:
+        if (
+            self._issue_q
+            and self._in_flight < self.tuning.max_in_flight
+            and self.port.aw.can_push()
+        ):
             nxt = min(nxt, max(cycle, self._next_aw_cycle))
-        if self._w_stream:
+        if self._w_stream and self.port.w.can_push():
             nxt = min(nxt, cycle)
         if self._requests:
             active = self._requests[0]
@@ -254,7 +262,11 @@ class Writer(Component):
                     if len(self._fill_buffer) >= sub.payload_bytes:
                         nxt = min(nxt, cycle)
                     break
-            if active.buffered >= active.req.len_bytes and active.all_done():
+            if (
+                active.buffered >= active.req.len_bytes
+                and active.all_done()
+                and self.done.can_push()
+            ):
                 nxt = min(nxt, cycle)
         return nxt
 

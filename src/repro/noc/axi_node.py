@@ -177,6 +177,15 @@ class AxiBufferNode(Component):
     def channels(self):
         return []  # ports are registered by the builder
 
+    def wake_channels(self):
+        # Reacts to requests arriving on any upstream port and to response
+        # beats (or freed space) on the downstream port.
+        chans = []
+        for up in self.upstreams:
+            chans.extend(up.channels())
+        chans.extend(self.down.port.channels())
+        return chans
+
 
 class AxiPipe(Component):
     """A fixed extra-latency register slice on every AXI channel.
@@ -232,3 +241,8 @@ class AxiPipe(Component):
         if not heads:
             return NEVER
         return max(cycle, min(heads))
+
+    def wake_channels(self):
+        # Ingests from both port faces and drains into both, so traffic (or
+        # freed space) on either side is a wake condition.
+        return list(self.up.channels()) + list(self.down.port.channels())

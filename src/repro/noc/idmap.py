@@ -44,6 +44,10 @@ class IdCompressor(Component):
     def next_event(self, cycle: int) -> float:
         return NEVER  # purely reactive: every action pops a channel item
 
+    def wake_channels(self):
+        # Forwards between the two port faces, neither of which it owns.
+        return list(self.up.channels()) + list(self.down.port.channels())
+
     def tick(self, cycle: int) -> None:
         if self.up.ar.can_pop() and self.down.port.ar.can_push():
             req = self.up.ar.pop()

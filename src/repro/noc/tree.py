@@ -33,6 +33,10 @@ class BuiltNetwork:
     nodes_per_slr: Dict[int, int] = field(default_factory=dict)
 
     def register_with(self, sim) -> None:
+        # Interior-port channels are registered after the node components
+        # that react to them; that is fine for selective scheduling because
+        # the simulator builds channel->component wake subscriptions lazily
+        # at the first run(), when all registrations are complete.
         for comp in self.components:
             sim.add(comp)
         for port in self.interior_ports:

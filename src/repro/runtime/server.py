@@ -161,6 +161,13 @@ class RuntimeServer(Component):
             nxt = min(nxt, max(cycle, self._next_poll))
         return nxt
 
+    def wake_channels(self):
+        # The server owns no channels; it pushes command words into the MMIO
+        # frontend (freed space resumes a stalled dispatch) and polls its
+        # response words.  New submissions happen between run calls, which
+        # re-wake every component anyway.
+        return [self.mmio.cmd_words, self.mmio.resp_words]
+
     def _dispatch(self, cycle: int) -> None:
         if self._current is None and cycle >= self._lock_until:
             self._current = self._pop_next()

@@ -1,19 +1,29 @@
 """Cycle-level simulation kernel used by every Beethoven substrate model."""
 
-from repro.sim.kernel import NEVER, ChannelQueue, Component, SimulationError, Simulator
+from repro.sim.kernel import (
+    NEVER,
+    SCHEDULING_MODES,
+    ChannelQueue,
+    Component,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.trace import (
     NULL_TRACER,
     Span,
     TraceEvent,
     Tracer,
     render_skip_report,
+    render_wake_report,
     skip_summary,
+    wake_summary,
 )
 
 __all__ = [
     "ChannelQueue",
     "Component",
     "NEVER",
+    "SCHEDULING_MODES",
     "SimulationError",
     "Simulator",
     "Span",
@@ -21,5 +31,7 @@ __all__ = [
     "TraceEvent",
     "NULL_TRACER",
     "render_skip_report",
+    "render_wake_report",
     "skip_summary",
+    "wake_summary",
 ]

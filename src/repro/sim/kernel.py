@@ -9,18 +9,35 @@ makes simulation results independent of the order in which components are
 ticked, which is the property that lets us compose large systems without
 worrying about evaluation order (the same property latency-insensitive
 ready/valid design gives real hardware).
+
+Three scheduling modes are supported, all cycle- and statistic-identical:
+
+* ``"naive"`` — tick every component and commit every channel each cycle.
+* ``"fast_forward"`` — naive stepping, plus whole-design jumps over windows
+  where every channel is empty and every component publishes a
+  :meth:`Component.next_event` hint.
+* ``"selective"`` — per-component event-driven scheduling: a component is
+  ticked only when one of its wake channels saw a push or pop, when its
+  ``next_event`` hint arrives, or when it requested a wake through
+  :meth:`Component.request_wake`.  Channel commits are sparse (only dirty
+  channels commit) with lazy occupancy crediting, so per-channel statistics
+  stay bit-identical to naive stepping.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, TypeVar
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar
 
 T = TypeVar("T")
 
 #: Sentinel a :meth:`Component.next_event` may return meaning "I have no
 #: self-scheduled future work; only new channel traffic can wake me".
 NEVER = float("inf")
+
+#: Valid ``Simulator(scheduling=...)`` values.
+SCHEDULING_MODES = ("naive", "fast_forward", "selective")
 
 
 class SimulationError(RuntimeError):
@@ -35,6 +52,14 @@ class ChannelQueue(Generic[T]):
     the start of the cycle plus anything staged this cycle, so a full queue
     does not accept a push in the same cycle one of its items is popped.
     """
+
+    # Selective-scheduling hooks, installed by Simulator.register_channel:
+    # ``_sink`` is the simulator's dirty list (None outside selective mode),
+    # ``_dirty`` marks membership in it, and ``_anchor`` is the registration
+    # offset that lets sparse commits credit elided observations lazily.
+    _sink: Optional[List["ChannelQueue[Any]"]] = None
+    _dirty = False
+    _anchor = 0
 
     def __init__(self, capacity: int = 2, name: str = "chan") -> None:
         if capacity < 1:
@@ -59,6 +84,9 @@ class ChannelQueue(Generic[T]):
             raise SimulationError(f"push to full channel {self.name!r}")
         self._staged.append(item)
         self.total_pushed += 1
+        if not self._dirty and self._sink is not None:
+            self._dirty = True
+            self._sink.append(self)
 
     # -- consumer side -----------------------------------------------------
     def can_pop(self) -> bool:
@@ -79,6 +107,9 @@ class ChannelQueue(Generic[T]):
         item = self._items[self._pop_count]
         self._pop_count += 1
         self.total_popped += 1
+        if not self._dirty and self._sink is not None:
+            self._dirty = True
+            self._sink.append(self)
         return item
 
     # -- kernel interface ----------------------------------------------------
@@ -103,6 +134,19 @@ class ChannelQueue(Generic[T]):
         """
         self.occupancy_accum += len(self._items) * n
         self.cycles_observed += n
+
+    def sync_observations(self, cycle: int) -> None:
+        """Credit every observation elided since the last commit/sync.
+
+        Under sparse commit a channel is only committed on cycles it saw a
+        push or pop; its occupancy was constant in between, so the elided
+        commits are reconstructed exactly: at ``cycle`` the channel should
+        have been observed ``cycle - _anchor`` times in total.
+        """
+        lag = cycle - self._anchor - self.cycles_observed
+        if lag > 0:
+            self.occupancy_accum += len(self._items) * lag
+            self.cycles_observed += lag
 
     def register_metrics(self, scope) -> None:
         """Bind this channel's statistics into a metric registry scope.
@@ -135,6 +179,13 @@ class ChannelQueue(Generic[T]):
 class Component:
     """Base class for everything that acts on each clock edge."""
 
+    # Selective-scheduling bookkeeping, installed by Simulator.add; class
+    # attributes so existing subclasses need no __init__ changes.
+    _sched_index = -1
+    _wake_hook: Optional[Callable[["Component"], None]] = None
+    _last_tick_cycle = -1
+    _ticks_executed = 0
+
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
 
@@ -149,17 +200,50 @@ class Component:
         for "tick me every cycle".
 
         The contract backing event-skipping: when a component returns a hint
-        ``h``, ticking it at any cycle in ``[cycle, h)`` with every
-        registered channel empty must be a no-op (no pushes, no pops, no
-        state or statistics change).  Components whose ``tick`` mutates
-        state unconditionally (countdowns, pipelines) must either return
-        ``None`` or keep their timing in absolute cycles.
+        ``h``, ticking it at any cycle in ``[cycle, h)`` in which none of its
+        :meth:`wake_channels` saw a committed push or pop since its previous
+        tick must be a no-op (no pushes, no pops, no state or statistics
+        change).  This is a strictly stronger requirement than the original
+        fast-forward contract (which only demanded no-op-ness when *every*
+        channel was empty); all framework components satisfy it.  Components
+        whose ``tick`` mutates state unconditionally (countdowns, pipelines)
+        must either return ``None`` or keep their timing in absolute cycles.
         """
         return None
 
     def channels(self) -> Iterable[ChannelQueue[Any]]:
         """Channels owned by this component (auto-registered)."""
         return [v for v in vars(self).values() if isinstance(v, ChannelQueue)]
+
+    def wake_channels(self) -> Iterable[ChannelQueue[Any]]:
+        """Channels whose push/pop activity may let this component progress.
+
+        The selective scheduler subscribes the component to each of these:
+        any committed push or pop on one wakes it the next cycle.  The set
+        must cover every channel the component's ``tick`` reads *or* probes
+        for space (``can_push``) — a full output channel is part of the wake
+        set because only a pop on it can unblock the producer.
+
+        The default — the component's own :meth:`channels` — is correct for
+        components that only touch channels they own.  Components that touch
+        foreign channels (NoC nodes forwarding between ports, the command
+        router pushing into adapters, cores driving Reader/Writer queues)
+        must override this with the complete set; a superset is always safe
+        (spurious wakes cost time, never correctness).
+        """
+        return self.channels()
+
+    def request_wake(self) -> None:
+        """Ask the selective scheduler to tick this component again.
+
+        Escape hatch for progress enabled by *non-channel* coupling: e.g. a
+        core calling :meth:`repro.memory.scratchpad.Memory.read` directly on
+        another component's memory.  Safe to call from any mode (a no-op
+        outside selective scheduling) and from inside a tick.
+        """
+        hook = self._wake_hook
+        if hook is not None:
+            hook(self)
 
     @property
     def metric_path(self) -> str:
@@ -183,13 +267,20 @@ class Component:
 class Simulator:
     """Owns the clock; ticks components and commits channels each cycle.
 
-    With ``fast_forward=True``, :meth:`run` skips over provably dead windows:
-    whenever every channel is empty after a commit and every component
-    returns a :meth:`Component.next_event` hint, the clock jumps straight to
-    the earliest hint, crediting the elided cycles into every channel's
-    occupancy statistics so the run stays cycle-identical to naive stepping.
-    A single component returning ``None`` (the default) vetoes skipping, so
-    unhinted user cores are always safe.
+    ``scheduling`` selects one of three cycle-identical schedules:
+
+    * ``"naive"`` ticks everything every cycle;
+    * ``"fast_forward"`` (the legacy ``fast_forward=True``) adds whole-design
+      jumps over globally quiescent windows;
+    * ``"selective"`` runs the per-component event-driven scheduler: each
+      cycle only the components woken by dirty channels, matured
+      ``next_event`` hints, or explicit :meth:`Component.request_wake` calls
+      are ticked, and only dirty channels commit (with lazy occupancy
+      crediting so every statistic matches naive stepping exactly).
+
+    A component returning ``None`` from :meth:`Component.next_event` (the
+    default) is ticked every cycle under every schedule, so unhinted user
+    cores are always safe.
     """
 
     def __init__(
@@ -199,12 +290,20 @@ class Simulator:
         tracer: Optional["Tracer"] = None,
         registry=None,
         profile: bool = False,
+        scheduling: Optional[str] = None,
     ) -> None:
         from repro.obs.registry import MetricRegistry  # lazy: avoid import cycle
 
+        if scheduling is None:
+            scheduling = "fast_forward" if fast_forward else "naive"
+        if scheduling not in SCHEDULING_MODES:
+            raise ValueError(
+                f"unknown scheduling mode {scheduling!r}; pick one of {SCHEDULING_MODES}"
+            )
         self.name = name
         self.cycle = 0
-        self.fast_forward = fast_forward
+        self.scheduling = scheduling
+        self.fast_forward = scheduling == "fast_forward"
         self.tracer = tracer
         self._components: List[Component] = []
         self._channels: List[ChannelQueue[Any]] = []
@@ -213,6 +312,15 @@ class Simulator:
         # Skip accounting, surfaced by :func:`repro.sim.trace.skip_summary`.
         self.cycles_skipped = 0
         self.skip_events = 0
+        # Selective-scheduler state.
+        self._selective = scheduling == "selective"
+        self._dirty_channels: List[ChannelQueue[Any]] = []
+        self._subs: Dict[int, List[int]] = {}
+        self._subs_stale = True
+        self._wake_heap: List[Tuple[int, int]] = []
+        self._woken: Set[int] = set()
+        self._ready: Optional[List[int]] = None  # heap of indices, mid-cycle only
+        self._current_idx = -1
         # Unified metrics: every added component/channel is adopted here.
         self.registry = registry if registry is not None else MetricRegistry()
         self._bind_own_metrics()
@@ -223,9 +331,9 @@ class Simulator:
     def _bind_own_metrics(self) -> None:
         scope = self.registry.scope("sim")
         scope.bind("cycles_total", lambda: self.cycle)
-        # Skip accounting depends on whether fast-forward ran, so it is
+        # Skip accounting depends on the schedule that ran, so it is
         # volatile: excluded from the stable dump the differential
-        # naive-vs-fast harness compares bit-for-bit.
+        # harness compares bit-for-bit across scheduling modes.
         scope.bind("cycles_skipped", lambda: self.cycles_skipped, volatile=True)
         scope.bind(
             "cycles_stepped", lambda: self.cycle - self.cycles_skipped, volatile=True
@@ -245,32 +353,81 @@ class Simulator:
 
     def add(self, component: Component) -> Component:
         self._components.append(component)
+        self._subs_stale = True
         for chan in component.channels():
             self.register_channel(chan)
-        component.register_metrics(self.registry.scope(component.metric_path))
+        scope = self.registry.scope(component.metric_path)
+        component.register_metrics(scope)
+        # Per-component scheduling effectiveness, for wake-set reporting.
+        scope.bind(
+            "ticks_executed",
+            lambda c=component: self.component_ticks(c),
+            volatile=True,
+        )
+        scope.bind(
+            "ticks_elided",
+            lambda c=component: self.cycle - self.component_ticks(c),
+            volatile=True,
+        )
         return component
 
     def register_channel(self, chan: ChannelQueue[Any]) -> ChannelQueue[Any]:
         if id(chan) not in self._channel_ids:
             self._channel_ids.add(id(chan))
             self._channels.append(chan)
+            self._subs_stale = True
+            if self._selective:
+                chan._sink = self._dirty_channels
+                # Anchor so that a fully synced channel always satisfies
+                # cycles_observed == sim.cycle - _anchor, exactly as if it
+                # had been committed on every cycle since registration.
+                chan._anchor = self.cycle - chan.cycles_observed
             chan.register_metrics(
                 self.registry.scope("chan/" + chan.name.replace(".", "/"))
             )
         return chan
 
+    def component_ticks(self, component: Component) -> int:
+        """Cycles in which ``component.tick`` actually ran.
+
+        Exact per-component counts are maintained by the selective scheduler;
+        under naive/fast-forward schedules every stepped cycle ticks every
+        component, so the count is derived.
+        """
+        if self._selective:
+            return component._ticks_executed
+        return self.cycle - self.cycles_skipped
+
+    # -- stepping ------------------------------------------------------------
     def step(self) -> None:
+        """Advance exactly one cycle, ticking everything (naive semantics).
+
+        All three scheduling modes share these step semantics so callers may
+        freely interleave ``step()`` with ``run()``; under selective
+        scheduling the next ``run()`` re-wakes every component, and the
+        commit sweep first credits any lazily deferred channel observations.
+        """
         if self.profile_enabled:
             return self._step_profiled()
+        cycle = self.cycle
+        selective = self._selective
         for component in self._components:
-            component.tick(self.cycle)
+            component.tick(cycle)
+            if selective:
+                component._ticks_executed += 1
+                component._last_tick_cycle = cycle
         quiescent = True
         for chan in self._channels:
+            if selective:
+                chan.sync_observations(cycle)
+                chan._dirty = False
             chan.commit()
             if chan._items:
                 quiescent = False
+        if selective:
+            self._dirty_channels.clear()
         self._quiescent = quiescent
-        self.cycle += 1
+        self.cycle = cycle + 1
 
     def _step_profiled(self) -> None:
         """One cycle with per-component wall-clock attribution.
@@ -281,10 +438,15 @@ class Simulator:
         """
         profile = self.tick_profile
         clock = time.perf_counter_ns
+        cycle = self.cycle
+        selective = self._selective
         for component in self._components:
             t0 = clock()
-            component.tick(self.cycle)
+            component.tick(cycle)
             dt = clock() - t0
+            if selective:
+                component._ticks_executed += 1
+                component._last_tick_cycle = cycle
             entry = profile.get(component.name)
             if entry is None:
                 profile[component.name] = [dt, 1]
@@ -294,9 +456,14 @@ class Simulator:
         t0 = clock()
         quiescent = True
         for chan in self._channels:
+            if selective:
+                chan.sync_observations(cycle)
+                chan._dirty = False
             chan.commit()
             if chan._items:
                 quiescent = False
+        if selective:
+            self._dirty_channels.clear()
         dt = clock() - t0
         entry = profile.get("(kernel)/commit")
         if entry is None:
@@ -305,7 +472,7 @@ class Simulator:
             entry[0] += dt
             entry[1] += 1
         self._quiescent = quiescent
-        self.cycle += 1
+        self.cycle = cycle + 1
 
     def run(
         self,
@@ -317,32 +484,189 @@ class Simulator:
         :class:`SimulationError` when the budget runs out while a predicate is
         pending, because that almost always means the model deadlocked.
 
-        When fast-forwarding, ``until`` must be a function of model state
-        (channel/component contents), not of the raw cycle counter: skipped
-        cycles are exactly the ones in which no model state changes, so a
-        state predicate is evaluated at every cycle where its value could
-        flip — but a predicate on ``sim.cycle`` itself could fire inside a
-        skipped window and be missed.
+        Under the skipping schedules (fast-forward and selective), ``until``
+        must be a function of model state (channel/component contents), not of
+        the raw cycle counter: skipped cycles are exactly the ones in which no
+        model state changes, so a state predicate is evaluated at every cycle
+        where its value could flip — but a predicate on ``sim.cycle`` itself
+        could fire inside a skipped window and be missed.
+
+        The predicate is evaluated exactly once per advanced cycle (the
+        result is cached for the cycle, so predicate-heavy runs are not
+        charged twice for the fast-forward guard's re-check).
         """
         deadline = self.cycle + max_cycles
+        if self._selective:
+            return self._run_selective(deadline, max_cycles, until)
+        pred = bool(until()) if until is not None else False
         while self.cycle < deadline:
-            if until is not None and until():
+            if pred:
                 return self.cycle
             self.step()
+            pred = bool(until()) if until is not None else False
             if (
                 self.fast_forward
                 and self._quiescent
                 and self.cycle < deadline
                 # Never skip once the predicate holds: the caller must observe
                 # the first satisfying cycle, not some later wake-up.
-                and (until is None or not until())
+                and not pred
             ):
                 self._try_fast_forward(deadline, to_deadline_ok=until is None)
-        if until is not None and not until():
+        if until is not None and not pred:
             raise SimulationError(
                 f"simulation {self.name!r} did not converge in {max_cycles} cycles"
             )
         return self.cycle
+
+    # -- selective scheduling -------------------------------------------------
+    def _prepare_selective(self) -> None:
+        """Refresh subscriptions and wake state at ``run()`` entry.
+
+        Anything may have mutated between run calls — the host submitted
+        commands, a test pushed into a registered port, ``step()`` was used
+        directly — so every component is woken for the first cycle (which is
+        exactly a naive tick-everything cycle) and channels carrying staged
+        traffic from before their registration are adopted into the dirty
+        list.
+        """
+        if self._subs_stale:
+            subs: Dict[int, List[int]] = {}
+            for idx, comp in enumerate(self._components):
+                comp._sched_index = idx
+                comp._wake_hook = self._request_wake
+                for chan in comp.wake_channels():
+                    subs.setdefault(id(chan), []).append(idx)
+            self._subs = subs
+            self._subs_stale = False
+        self._woken.update(range(len(self._components)))
+        dirty = self._dirty_channels
+        for chan in self._channels:
+            if not chan._dirty and (chan._staged or chan._pop_count):
+                chan._dirty = True
+                dirty.append(chan)
+
+    def _request_wake(self, component: Component) -> None:
+        """Wake ``component`` at the earliest cycle that matches naive order.
+
+        Called mid-tick-loop (via :meth:`Component.request_wake`) when
+        component A mutates B's non-channel state: if B is later in
+        registration order and has not ticked this cycle it is injected into
+        the current cycle's ready heap (naive would tick it after A this very
+        cycle); otherwise it is woken for the next cycle (naive ticked it
+        before A, necessarily as a no-op on the pre-mutation state).
+        """
+        idx = component._sched_index
+        if idx < 0:
+            return
+        ready = self._ready
+        if (
+            ready is not None
+            and idx > self._current_idx
+            and component._last_tick_cycle != self.cycle
+        ):
+            heappush(ready, idx)
+        else:
+            self._woken.add(idx)
+
+    def _run_selective(
+        self, deadline: int, max_cycles: int, until: Optional[Callable[[], bool]]
+    ) -> int:
+        self._prepare_selective()
+        components = self._components
+        subs = self._subs
+        wake_heap = self._wake_heap
+        woken = self._woken
+        dirty = self._dirty_channels
+        tracer = self.tracer
+        profile = self.profile_enabled
+        tick_profile = self.tick_profile
+        clock = time.perf_counter_ns
+        pred = bool(until()) if until is not None else False
+        while self.cycle < deadline:
+            if pred:
+                break
+            cycle = self.cycle
+            while wake_heap and wake_heap[0][0] <= cycle:
+                woken.add(heappop(wake_heap)[1])
+            if not woken:
+                # Nothing can act before the earliest scheduled wake: the
+                # model state is provably frozen, so jump (the predicate's
+                # value is frozen with it).
+                target = wake_heap[0][0] if wake_heap else deadline
+                if target > deadline:
+                    target = deadline
+                skipped = target - cycle
+                self.cycles_skipped += skipped
+                self.skip_events += 1
+                if tracer is not None:
+                    tracer.record(cycle, "sim", "fast_forward", skipped)
+                self.cycle = target
+                continue
+            ready = list(woken)
+            heapify(ready)
+            woken.clear()
+            self._ready = ready
+            while ready:
+                idx = heappop(ready)
+                comp = components[idx]
+                if comp._last_tick_cycle == cycle:
+                    continue  # duplicate wake this cycle
+                comp._last_tick_cycle = cycle
+                self._current_idx = idx
+                if profile:
+                    t0 = clock()
+                    comp.tick(cycle)
+                    dt = clock() - t0
+                    entry = tick_profile.get(comp.name)
+                    if entry is None:
+                        tick_profile[comp.name] = [dt, 1]
+                    else:
+                        entry[0] += dt
+                        entry[1] += 1
+                else:
+                    comp.tick(cycle)
+                comp._ticks_executed += 1
+                hint = comp.next_event(cycle + 1)
+                if hint is None or hint <= cycle + 1:
+                    woken.add(idx)
+                elif hint != NEVER:
+                    heappush(wake_heap, (int(hint), idx))
+            self._ready = None
+            self._current_idx = -1
+            if dirty:
+                if profile:
+                    t0 = clock()
+                for chan in dirty:
+                    chan.sync_observations(cycle)
+                    chan.commit()
+                    chan._dirty = False
+                    for cidx in subs.get(id(chan), ()):
+                        woken.add(cidx)
+                dirty.clear()
+                if profile:
+                    dt = clock() - t0
+                    entry = tick_profile.get("(kernel)/commit")
+                    if entry is None:
+                        tick_profile["(kernel)/commit"] = [dt, 1]
+                    else:
+                        entry[0] += dt
+                        entry[1] += 1
+            self.cycle = cycle + 1
+            pred = bool(until()) if until is not None else False
+        # Bring every channel's lazily deferred observation statistics up to
+        # the final cycle before anyone reads them.
+        self._sync_channel_stats()
+        if self.cycle >= deadline and until is not None and not pred:
+            raise SimulationError(
+                f"simulation {self.name!r} did not converge in {max_cycles} cycles"
+            )
+        return self.cycle
+
+    def _sync_channel_stats(self) -> None:
+        cycle = self.cycle
+        for chan in self._channels:
+            chan.sync_observations(cycle)
 
     # -- event skipping -----------------------------------------------------
     def _try_fast_forward(self, deadline: int, to_deadline_ok: bool) -> None:

@@ -197,3 +197,59 @@ def render_skip_report(sim) -> str:
         f"({s['skip_fraction']:.1%}) in {s['skip_events']:.0f} jumps "
         f"(mean {s['mean_skip_length']:.1f} cycles)"
     )
+
+
+def wake_summary(sim) -> Dict[str, Dict[str, float]]:
+    """Per-component tick accounting of a :class:`~repro.sim.Simulator` run.
+
+    For each component: ``ticks_executed`` (cycles its ``tick`` actually
+    ran), ``ticks_elided`` (cycles the scheduler proved it a no-op and
+    skipped it) and ``tick_fraction`` (executed / simulated cycles).  Under
+    the selective schedule the counts are exact per component; under
+    naive/fast-forward every component shares the stepped-cycle count.  The
+    dict is keyed by component name in registration order — feed it to
+    :func:`render_wake_report` for the human version.
+    """
+    total = sim.cycle
+    out: Dict[str, Dict[str, float]] = {}
+    for comp in sim._components:
+        executed = sim.component_ticks(comp)
+        out[comp.name] = {
+            "ticks_executed": executed,
+            "ticks_elided": total - executed,
+            "tick_fraction": executed / total if total else 0.0,
+        }
+    return out
+
+
+def render_wake_report(sim, top: int = 12) -> str:
+    """Table of the busiest components by executed ticks.
+
+    ``top`` bounds the rows (the aggregate line always includes everyone);
+    pass ``top=None`` for the full table.  The aggregate elision fraction is
+    the wall-clock headroom the selective scheduler exploited: 0% means
+    every component ticked every cycle (a dense design or naive schedule).
+    """
+    summary = wake_summary(sim)
+    total = sim.cycle
+    n_comps = len(summary)
+    executed_total = sum(s["ticks_executed"] for s in summary.values())
+    possible = total * n_comps
+    elided_frac = 1.0 - executed_total / possible if possible else 0.0
+    lines = [
+        f"sim {sim.name!r}: {total} cycles, {n_comps} components, "
+        f"{executed_total:.0f}/{possible} component-ticks executed "
+        f"({elided_frac:.1%} elided)"
+    ]
+    rows = sorted(
+        summary.items(), key=lambda kv: kv[1]["ticks_executed"], reverse=True
+    )
+    if top is not None:
+        rows = rows[:top]
+    width = max((len(name) for name, _ in rows), default=4)
+    for name, s in rows:
+        lines.append(
+            f"  {name:<{width}} {s['ticks_executed']:>10.0f} ticks "
+            f"({s['tick_fraction']:>6.1%})"
+        )
+    return "\n".join(lines)

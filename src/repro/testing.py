@@ -45,13 +45,17 @@ def build_memory_testbench(
     tracer: Optional[Tracer] = None,
     fast_forward: bool = True,
     profile: bool = False,
+    scheduling: Optional[str] = None,
 ) -> MemoryTestbench:
     """Wire ``master_ports`` through a tree network to a DRAM controller.
 
-    ``fast_forward`` enables the event-skipping kernel (cycle-exact; pass
-    ``False`` to force the naive cycle-by-cycle schedule).  ``profile``
-    enables the per-component wall-clock profiler
-    (:func:`repro.obs.render_profile_report`).
+    ``scheduling`` picks the kernel schedule ("naive", "fast_forward" or
+    "selective"); by default the testbench runs the selective per-component
+    scheduler (cycle-exact), or naive stepping when ``fast_forward=False``.
+    Driving the master ports directly between ``run`` calls is safe under
+    every schedule: each run entry re-wakes all components and adopts any
+    staged pushes/pops.  ``profile`` enables the per-component wall-clock
+    profiler (:func:`repro.obs.render_profile_report`).
     """
     tracer = tracer or Tracer()
     params = controller_params or AxiParams(beat_bytes=timing.col_bytes)
@@ -60,7 +64,9 @@ def build_memory_testbench(
     mport = MonitoredAxiPort(slave_port, monitor)
     controller = MemoryController(mport, timing)
 
-    sim = Simulator(fast_forward=fast_forward, tracer=tracer, profile=profile)
+    if scheduling is None:
+        scheduling = "selective" if fast_forward else "naive"
+    sim = Simulator(tracer=tracer, profile=profile, scheduling=scheduling)
     sim.add(controller)
     sim.add(monitor)
     for chan in slave_port.channels():

@@ -1,11 +1,12 @@
 """Differential cycle-exactness harness for the event-skipping kernel.
 
-Every scenario here is run twice — naively stepped and with ``fast_forward``
-— and the two runs must be *indistinguishable* in everything except wall
-clock: final cycle counts, per-channel statistics, AXI transaction
-timelines, response orderings and latencies, and the data the accelerator
-produced.  The fast-forward run must additionally prove that it actually
-skipped (otherwise the harness is vacuous).
+Every scenario here is run under all three schedules — ``naive`` stepping,
+whole-design ``fast_forward`` and per-component ``selective`` — and the runs
+must be *indistinguishable* in everything except wall clock: final cycle
+counts, per-channel statistics, AXI transaction timelines, response orderings
+and latencies, and the data the accelerator produced.  The skipping runs must
+additionally prove that they actually skipped/elided work (otherwise the
+harness is vacuous).
 """
 
 import numpy as np
@@ -21,11 +22,15 @@ from repro.core import (
 )
 from repro.core.accelerator import AcceleratorCore
 from repro.core.build import BuildMode
+from repro.kernels.machsuite.fig6 import simulate_measured
 from repro.kernels.memcpy import memcpy_config
 from repro.memory.types import ReadRequest, WriteRequest
 from repro.platforms import AWSF1Platform, SimulationPlatform
 from repro.runtime import FpgaHandle
-from repro.sim import NEVER, skip_summary
+from repro.sim import NEVER, skip_summary, wake_summary
+
+#: The two event-skipping schedules, each compared against naive.
+SKIPPING_MODES = ("fast_forward", "selective")
 
 
 def _channel_stats(design):
@@ -45,26 +50,52 @@ def _txn_records(design):
 
 
 def _stable_metrics(design):
-    """The full registry dump minus volatile entries (skip accounting and
-    trace-event counts, which legitimately differ between schedules)."""
+    """The full registry dump minus volatile entries (skip/tick accounting
+    and trace-event counts, which legitimately differ between schedules)."""
     return design.registry.dump(stable_only=True)
 
 
-def _assert_equivalent(naive, fast):
-    """Compare the observable outcome dicts of a naive and a fast run."""
-    assert fast["cycle"] == naive["cycle"]
-    assert fast["channel_stats"] == naive["channel_stats"]
-    assert fast["records"] == naive["records"]
-    assert fast["responses"] == naive["responses"]
-    assert fast["data"] == naive["data"]
+def _elision(design):
+    """Total component-ticks elided across the design (0 under naive).
+
+    ``component_ticks`` already accounts for whole-design jumps (both
+    schedules advance ``cycle`` without ticking during a jump), so this is
+    simply the gap between cycles elapsed and ticks executed, summed."""
+    sim = design.sim
+    return sum(sim.cycle - sim.component_ticks(c) for c in sim._components)
+
+
+def _outcome(design, handle, responses, data_ok):
+    return {
+        "cycle": handle.cycle,
+        "channel_stats": _channel_stats(design),
+        "records": _txn_records(design),
+        "responses": responses,
+        "data": data_ok,
+        "metrics": _stable_metrics(design),
+        "skipped": design.sim.cycles_skipped,
+        "elided": _elision(design),
+    }
+
+
+def _assert_equivalent(naive, skipping):
+    """Compare the observable outcome dicts of a naive and a skipping run."""
+    assert skipping["cycle"] == naive["cycle"]
+    assert skipping["channel_stats"] == naive["channel_stats"]
+    assert skipping["records"] == naive["records"]
+    assert skipping["responses"] == naive["responses"]
+    assert skipping["data"] == naive["data"]
     # Every stable metric in the unified registry — channel occupancy
     # integrals, DRAM counters, NoC forward counts, runtime-server stats,
     # span counts — must be bit-identical between the two schedules.
-    assert fast["metrics"] == naive["metrics"]
-    assert fast["metrics"], "registry dump unexpectedly empty"
-    # The whole point: the fast run skipped, the naive run never does.
+    assert skipping["metrics"] == naive["metrics"]
+    assert skipping["metrics"], "registry dump unexpectedly empty"
+    # The whole point: the skipping run elided work, the naive run never
+    # does.  (Fast-forward elides whole cycles; selective elides individual
+    # component ticks even on cycles it steps.)
     assert naive["skipped"] == 0
-    assert fast["skipped"] > 0
+    assert naive["elided"] == 0
+    assert skipping["elided"] > 0
 
 
 # ---------------------------------------------------------------------------
@@ -72,13 +103,13 @@ def _assert_equivalent(naive, fast):
 # ---------------------------------------------------------------------------
 
 
-def _run_memcpy(fast_forward):
+def _run_memcpy(scheduling):
     size = 4096
     build = BeethovenBuild(
         memcpy_config(n_cores=1),
         AWSF1Platform(),
         BuildMode.Simulation,
-        fast_forward=fast_forward,
+        scheduling=scheduling,
     )
     handle = FpgaHandle(build.design)
     src, dst = handle.malloc(size), handle.malloc(size)
@@ -91,19 +122,14 @@ def _run_memcpy(fast_forward):
     )
     resp.get(max_cycles=500_000)
     handle.copy_from_fpga(dst)
-    return {
-        "cycle": handle.cycle,
-        "channel_stats": _channel_stats(build.design),
-        "records": _txn_records(build.design),
-        "responses": [resp.latency_cycles],
-        "data": dst.read() == pattern,
-        "metrics": _stable_metrics(build.design),
-        "skipped": build.design.sim.cycles_skipped,
-    }
+    return _outcome(
+        build.design, handle, [resp.latency_cycles], dst.read() == pattern
+    )
 
 
-def test_memcpy_differential():
-    _assert_equivalent(_run_memcpy(False), _run_memcpy(True))
+@pytest.mark.parametrize("mode", SKIPPING_MODES)
+def test_memcpy_differential(mode):
+    _assert_equivalent(_run_memcpy("naive"), _run_memcpy(mode))
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +190,7 @@ class XorCore(AcceleratorCore):
         return NEVER  # purely reactive
 
 
-def _run_multichannel(fast_forward):
+def _run_multichannel(scheduling):
     n = 2048
     cfg = AcceleratorConfig(
         name="Xor",
@@ -176,7 +202,7 @@ def _run_multichannel(fast_forward):
         ),
     )
     build = BeethovenBuild(
-        cfg, AWSF1Platform(), BuildMode.Simulation, fast_forward=fast_forward
+        cfg, AWSF1Platform(), BuildMode.Simulation, scheduling=scheduling
     )
     handle = FpgaHandle(build.design)
     rng = np.random.default_rng(5)
@@ -194,19 +220,14 @@ def _run_multichannel(fast_forward):
     resp.get(max_cycles=500_000)
     handle.copy_from_fpga(po)
     got = np.frombuffer(po.read(), dtype=np.uint8)
-    return {
-        "cycle": handle.cycle,
-        "channel_stats": _channel_stats(build.design),
-        "records": _txn_records(build.design),
-        "responses": [resp.latency_cycles],
-        "data": bool((got == (a ^ b)).all()),
-        "metrics": _stable_metrics(build.design),
-        "skipped": build.design.sim.cycles_skipped,
-    }
+    return _outcome(
+        build.design, handle, [resp.latency_cycles], bool((got == (a ^ b)).all())
+    )
 
 
-def test_multichannel_differential():
-    _assert_equivalent(_run_multichannel(False), _run_multichannel(True))
+@pytest.mark.parametrize("mode", SKIPPING_MODES)
+def test_multichannel_differential(mode):
+    _assert_equivalent(_run_multichannel("naive"), _run_multichannel(mode))
 
 
 # ---------------------------------------------------------------------------
@@ -215,13 +236,13 @@ def test_multichannel_differential():
 # ---------------------------------------------------------------------------
 
 
-def _run_server(fast_forward):
+def _run_server(scheduling):
     n_cores, latency, rounds = 2, 5000, 3
     build = BeethovenBuild(
         delay_config(n_cores, latency),
         AWSF1Platform(),
         BuildMode.Simulation,
-        fast_forward=fast_forward,
+        scheduling=scheduling,
     )
     handle = FpgaHandle(build.design)
     futures = []
@@ -231,25 +252,22 @@ def _run_server(fast_forward):
     for fut in futures:
         fut.get(max_cycles=10_000_000)
     server = handle.server
-    return {
-        "cycle": handle.cycle,
-        "channel_stats": _channel_stats(build.design),
-        "records": _txn_records(build.design),
-        "responses": [f.latency_cycles for f in futures],
-        "data": (
+    return _outcome(
+        build.design,
+        handle,
+        [f.latency_cycles for f in futures],
+        (
             server.commands_sent,
             server.responses_received,
             server.lock_wait_cycles,
             server.busy_cycles,
             {k: tuple(v) for k, v in server.client_lock_waits.items()},
         ),
-        "metrics": _stable_metrics(build.design),
-        "skipped": build.design.sim.cycles_skipped,
-    }
+    )
 
 
-def test_runtime_server_differential():
-    naive, fast = _run_server(False), _run_server(True)
+def test_runtime_server_differential_fast_forward():
+    naive, fast = _run_server("naive"), _run_server("fast_forward")
     _assert_equivalent(naive, fast)
     # Long-latency kernels leave substantial dead time even though queued
     # commands parked in a busy core's req channel pin much of the run
@@ -257,9 +275,37 @@ def test_runtime_server_differential():
     assert fast["skipped"] > fast["cycle"] * 0.25
 
 
+def test_runtime_server_differential_selective():
+    naive, sel = _run_server("naive"), _run_server("selective")
+    _assert_equivalent(naive, sel)
+    # Selective scheduling is strictly more aggressive than the global gate:
+    # a busy core never pins idle components awake, so across the design the
+    # elided ticks exceed a full component-lifetime of work.
+    assert sel["elided"] > sel["cycle"]
+
+
+# ---------------------------------------------------------------------------
+# Scenario 4: the fig6 MachSuite measured-bar configuration (acceptance
+# criterion: selective is bit-identical to naive on these configs).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", SKIPPING_MODES)
+def test_fig6_machsuite_differential(mode):
+    # Small Delay-core stand-in at a real fig6 operating point: multi-core
+    # with runtime-server contention, exactly what measured_ops simulates.
+    results = {
+        s: simulate_measured(4, 3000, AWSF1Platform(), rounds=2, scheduling=s)
+        for s in ("naive", mode)
+    }
+    assert results[mode].ops_per_second == results["naive"].ops_per_second
+    assert results[mode].server_bound == results["naive"].server_bound
+
+
 def test_skip_summary_shape():
     build = BeethovenBuild(
-        delay_config(1, 2000), AWSF1Platform(), BuildMode.Simulation
+        delay_config(1, 2000), AWSF1Platform(), BuildMode.Simulation,
+        scheduling="fast_forward",
     )
     handle = FpgaHandle(build.design)
     handle.call("Delay", "run", 0, job=0).get(max_cycles=1_000_000)
@@ -270,13 +316,33 @@ def test_skip_summary_shape():
     assert summary["skip_events"] == build.design.sim.skip_events
 
 
-def test_fast_forward_respects_run_deadline():
+def test_wake_summary_shape():
+    build = BeethovenBuild(
+        delay_config(2, 2000), AWSF1Platform(), BuildMode.Simulation
+    )  # selective by default
+    handle = FpgaHandle(build.design)
+    handle.call("Delay", "run", 0, job=0).get(max_cycles=1_000_000)
+    sim = build.design.sim
+    assert sim.scheduling == "selective"
+    summary = wake_summary(sim)
+    assert len(summary) == len(sim._components)
+    for name, s in summary.items():
+        assert s["ticks_executed"] + s["ticks_elided"] == sim.cycle
+        assert 0.0 <= s["tick_fraction"] <= 1.0
+    # The idle second core must have been almost entirely elided while the
+    # commanded core worked.
+    idle_core = summary["Delay.core1"]
+    assert idle_core["tick_fraction"] < 0.5
+
+
+@pytest.mark.parametrize("mode", SKIPPING_MODES)
+def test_skipping_respects_run_deadline(mode):
     """A bounded run() without a predicate lands exactly on its deadline."""
     build = BeethovenBuild(
         delay_config(1, 100),
         SimulationPlatform(),
         BuildMode.Simulation,
-        fast_forward=True,
+        scheduling=mode,
     )
     handle = FpgaHandle(build.design)
     handle.run_until(None, 0)  # no-op; exercise plumbing
