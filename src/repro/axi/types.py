@@ -69,12 +69,19 @@ class ARReq:
 
 @dataclass(frozen=True)
 class RBeat:
-    """Read data channel payload (one beat)."""
+    """Read data channel payload (one beat).
+
+    ``err`` models the SLVERR/ECC-poison signalling real links carry: a
+    corrupted beat is delivered with ``err=True`` so downstream consumers can
+    detect (never silently absorb) the corruption.  Every hop that re-creates
+    an RBeat (ID remap, compression) must propagate it.
+    """
 
     axi_id: int
     data: bytes
     last: bool
     tag: int = -1
+    err: bool = False
 
 
 @dataclass(frozen=True)

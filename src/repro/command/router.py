@@ -234,6 +234,10 @@ class MmioFrontend(Component):
     register access as seen from the fabric side.
     """
 
+    # Optional fault injector (repro.faults): may eat whole responses off the
+    # MMIO path, modelling a lost interrupt/register read on real hardware.
+    _fault = None
+
     def __init__(self, router: CommandRouter, name: str = "mmio") -> None:
         super().__init__(name)
         self.router = router
@@ -260,6 +264,9 @@ class MmioFrontend(Component):
                 self.commands_forwarded += 1
         if self.router.resp_out.can_pop() and self.resp_words.can_push(4):
             resp = self.router.resp_out.pop()
+            hook = self._fault
+            if hook is not None and hook.drop_response(cycle, resp):
+                return  # response lost; the server's watchdog must recover
             for word in resp.encode_words():
                 self.resp_words.push(word)
             self.responses_forwarded += 1

@@ -48,6 +48,8 @@ class BeethovenBuild:
         fast_forward: bool = True,
         observability: Optional["Observability"] = None,
         scheduling: Optional[str] = None,
+        faults=None,
+        watchdog=None,
     ) -> None:
         self.platform = platform
         self.build_mode = build_mode
@@ -59,6 +61,8 @@ class BeethovenBuild:
             fast_forward=fast_forward,
             observability=observability,
             scheduling=scheduling,
+            faults=faults,
+            watchdog=watchdog,
         )
         if build_mode is BuildMode.Synthesis:
             report = self.design.routability

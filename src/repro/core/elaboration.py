@@ -100,6 +100,8 @@ class ElaboratedDesign:
         fast_forward: bool = True,
         observability: Optional["Observability"] = None,
         scheduling: Optional[str] = None,
+        faults=None,
+        watchdog=None,
     ) -> None:
         from repro.obs import CommandSpanTracker, Observability
 
@@ -145,9 +147,15 @@ class ElaboratedDesign:
         self._estimate_core_resources()
         self._floorplan()
         self._map_memories()
+        # Default watchdog policy handed to FpgaHandle (None = disabled).
+        self.watchdog = watchdog
+        #: FaultState of the compiled FaultPlan (None when no plan was given).
+        self.faults = None
+
         self._build_memory_network()
         self._build_command_network()
         self._wire_observability()
+        self._compile_faults(faults)
         self._register_all()
         self._finalise_report()
         self._check_routability()
@@ -433,6 +441,24 @@ class ElaboratedDesign:
                 for master in masters:
                     master.spans = tracker
                     master.span_key = key
+
+    # ------------------------------------------------------------- faults
+    def _compile_faults(self, plan) -> None:
+        """Compile a :class:`repro.faults.FaultPlan` into the built models.
+
+        Runs after the networks exist (hooks attach to live components) and
+        before metric registration, so ``fault/*`` counters participate in
+        the same registry dumps as everything else.
+        """
+        if plan is None:
+            return
+        from repro.faults.plan import FaultPlan
+
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(
+                f"faults= expects a FaultPlan, got {type(plan).__name__}"
+            )
+        self.faults = plan.compile(self)
 
     # ------------------------------------------------------------- simulator
     def _register_all(self) -> None:

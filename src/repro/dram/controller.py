@@ -44,7 +44,8 @@ class _ReadTxn:
     cols_enqueued: int = 0
     cols_done: int = 0
     beats_sent: int = 0
-    beats: List[Optional[Tuple[int, bytes]]] = field(default_factory=list)
+    # (ready_cycle, data, err) per beat; err marks a modeled ECC failure.
+    beats: List[Optional[Tuple[int, bytes, bool]]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.beats = [None] * self.length
@@ -76,6 +77,10 @@ class _ColReq:
 
 class MemoryController(Component):
     """FR-FCFS DDR controller with an AXI4 slave frontend."""
+
+    # Optional fault injector (repro.faults): filters column reads, flipping
+    # bits and marking the beat ``err`` (the modeled ECC detects the flip).
+    _fault = None
 
     def __init__(
         self,
@@ -330,7 +335,11 @@ class MemoryController(Component):
         else:
             rtxn: _ReadTxn = req.txn
             data = self.store.read(req.addr, self.timing.col_bytes)
-            rtxn.beats[req.beat_idx] = (cycle + self.timing.t_cl, data)
+            err = False
+            hook = self._fault
+            if hook is not None:
+                data, err = hook.filter_read(cycle, req.addr, data)
+            rtxn.beats[req.beat_idx] = (cycle + self.timing.t_cl, data, err)
             rtxn.cols_done += 1
             self.stats["read_cols"] += 1
 
@@ -347,7 +356,10 @@ class MemoryController(Component):
                 continue
             last = txn.beats_sent == txn.length - 1
             self.mport.push_r(
-                cycle, RBeat(axi_id=axi_id, data=entry[1], last=last, tag=txn.tag)
+                cycle,
+                RBeat(
+                    axi_id=axi_id, data=entry[1], last=last, tag=txn.tag, err=entry[2]
+                ),
             )
             txn.beats_sent += 1
             if last:
@@ -418,6 +430,30 @@ class MemoryController(Component):
                     if entry is not None:
                         nxt = min(nxt, max(cycle, entry[0]))
         return nxt
+
+    def debug_state(self):
+        if not self._read_txns and not self._write_txns and not self._sched:
+            return None
+        reads = [
+            {"tag": t.tag, "axi_id": t.axi_id, "addr": hex(t.addr),
+             "beats_sent": t.beats_sent, "length": t.length}
+            for t in list(self._read_txns.values())[:8]
+        ]
+        writes = [
+            {"tag": t.tag, "axi_id": t.axi_id, "addr": hex(t.addr),
+             "cols_done": t.cols_done, "length": t.length,
+             "data_complete": t.data_complete}
+            for t in list(self._write_txns.values())[:8]
+        ]
+        return {
+            "reads_in_flight": len(self._read_txns),
+            "writes_in_flight": len(self._write_txns),
+            "sched_queue": len(self._sched),
+            "awaiting_w_data": len(self._writes_awaiting_data),
+            "bus_free_at": self._bus_free_at,
+            "reads": reads,
+            "writes": writes,
+        }
 
     # ------------------------------------------------------------------ analysis
     def idle(self) -> bool:

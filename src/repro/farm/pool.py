@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -84,17 +86,34 @@ def _execute(job: Job, attempt: int, worker: str) -> PoolOutcome:
             attempts=attempt,
         )
     except Exception as exc:  # noqa: BLE001 — job errors become data
+        # Ship the traceback with the message: the supervisor (often on
+        # another machine's terminal) is the only place the error is read.
+        tb = traceback.format_exc(limit=20)
+        if len(tb) > 4000:
+            tb = "...\n" + tb[-4000:]
         return PoolOutcome(
             ok=False,
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"{type(exc).__name__}: {exc}\n{tb.rstrip()}",
             worker=worker,
             wall_seconds=time.perf_counter() - t0,
             attempts=attempt,
         )
 
 
-def _worker_main(worker_id: str, inbox, outbox) -> None:
-    """Worker process body: execute payloads until the ``None`` sentinel."""
+def _worker_main(worker_id: str, inbox, outbox, stderr_path: Optional[str] = None) -> None:
+    """Worker process body: execute payloads until the ``None`` sentinel.
+
+    ``stderr_path`` redirects fd 2 so that whatever kills this process —
+    a Python traceback that escapes ``_execute``, an extension-module abort,
+    an OOM-killer note — survives for the supervisor's crash report.
+    """
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+            os.dup2(fd, 2)
+            os.close(fd)
+        except OSError:
+            pass  # diagnostics only; never fail the worker over them
     while True:
         item = inbox.get()
         if item is None:
@@ -139,6 +158,7 @@ class _Slot:
     outbox: Any
     seq: Optional[int] = None  # seq of the task currently assigned
     deadline: float = 0.0
+    stderr_path: Optional[str] = None
 
 
 @dataclass
@@ -148,6 +168,7 @@ class _Task:
     attempts: int = 0
     crashes: int = 0
     eligible_at: float = 0.0  # backoff gate for retries
+    last_stderr: str = ""  # tail of the stderr of the last crashed attempt
 
 
 def _payload_picklable(job: Job) -> bool:
@@ -203,11 +224,29 @@ class WorkerPool:
     def _spawn(self, worker_id: str) -> _Slot:
         inbox = self._ctx.Queue()
         outbox = self._ctx.Queue()
+        fd, stderr_path = tempfile.mkstemp(prefix=f"farm-{worker_id}-", suffix=".stderr")
+        os.close(fd)
         process = self._ctx.Process(
-            target=_worker_main, args=(worker_id, inbox, outbox), daemon=True
+            target=_worker_main,
+            args=(worker_id, inbox, outbox, stderr_path),
+            daemon=True,
         )
         process.start()
-        return _Slot(worker_id, process, inbox, outbox)
+        return _Slot(worker_id, process, inbox, outbox, stderr_path=stderr_path)
+
+    @staticmethod
+    def _stderr_tail(slot: _Slot, max_chars: int = 2000) -> str:
+        """Last ``max_chars`` of the worker's redirected stderr, if any."""
+        if not slot.stderr_path:
+            return ""
+        try:
+            with open(slot.stderr_path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(max(0, size - max_chars))
+                return fh.read().decode("utf-8", "replace").strip()
+        except OSError:
+            return ""
 
     @staticmethod
     def _discard(slot: _Slot, kill: bool = False) -> None:
@@ -220,6 +259,11 @@ class WorkerPool:
         for q in (slot.inbox, slot.outbox):
             q.cancel_join_thread()
             q.close()
+        if slot.stderr_path:
+            try:
+                os.unlink(slot.stderr_path)
+            except OSError:
+                pass
 
     # ---------------------------------------------------------------- run
     def run(self, jobs: Sequence[Job]) -> List[PoolOutcome]:
@@ -270,14 +314,22 @@ class WorkerPool:
                     task = tasks[slot.seq]
                     if not slot.process.is_alive():
                         # Crash mid-job: respawn the slot, retry with backoff.
+                        tail = self._stderr_tail(slot)
+                        if tail:
+                            task.last_stderr = tail
                         self._discard(slot)
                         slots[i] = self._spawn(f"w{next_worker}")
                         next_worker += 1
                         task.crashes += 1
                         if task.attempts >= self.max_attempts:
+                            error = f"worker crashed on all {task.attempts} attempts"
+                            if task.last_stderr:
+                                error += (
+                                    "; last worker stderr:\n" + task.last_stderr
+                                )
                             outcomes[task.seq] = PoolOutcome(
                                 ok=False,
-                                error=f"worker crashed on all {task.attempts} attempts",
+                                error=error,
                                 worker=slot.worker_id,
                                 attempts=task.attempts,
                                 crashes=task.crashes,

@@ -1,0 +1,26 @@
+"""repro.faults: deterministic fault injection and chaos testing.
+
+``FaultPlan`` describes seeded fault schedules compiled into a design at
+elaboration time; ``repro.faults.chaos`` sweeps hundreds of schedules and
+asserts the system's robustness contract (terminate bounded, fail typed,
+never corrupt silently).
+"""
+
+from repro.faults.errors import (
+    CommandTimeout,
+    CoreQuarantined,
+    FaultedResponse,
+    FaultError,
+)
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultState
+
+__all__ = [
+    "FAULT_KINDS",
+    "CommandTimeout",
+    "CoreQuarantined",
+    "FaultedResponse",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
+]

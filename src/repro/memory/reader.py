@@ -52,6 +52,14 @@ class _SubTxn:
 class Reader(Component):
     """Streams memory to the core; the core pops ``data`` in program order."""
 
+    # Fault detection (repro.faults): when the elaborator compiles a
+    # FaultPlan it points every master at the shared FaultState so beats
+    # arriving with ``err`` set poison the owning core's in-flight command
+    # (detected corruption, never silent).  Class attributes keep existing
+    # constructions unchanged.
+    _fault_state = None
+    _fault_key = None
+
     def __init__(
         self,
         name: str,
@@ -164,6 +172,10 @@ class Reader(Component):
         sub = self._by_tag.get(beat.tag)
         if sub is None:
             raise RuntimeError(f"{self.name}: R beat with unknown tag")
+        if beat.err and self._fault_state is not None:
+            self._fault_state.mark_detected(
+                self._fault_key, cycle, self.name, f"err beat id={beat.axi_id}"
+            )
         sub.received.extend(beat.data)
         if beat.last:
             self._in_flight -= 1

@@ -35,6 +35,11 @@ class AxiBufferNode(Component):
     this when it sizes the tree.
     """
 
+    # Optional fault injector (repro.faults): filters R beats (corrupt/drop)
+    # and B responses (drop) at this hop.  Class attribute so existing
+    # constructions need no changes; a compiled FaultPlan installs instances.
+    _fault = None
+
     def __init__(
         self,
         upstreams: List[AxiPort],
@@ -152,7 +157,13 @@ class AxiBufferNode(Component):
         up = self.upstreams[idx]
         if up.r.can_push():
             down_r.pop()
-            up.r.push(RBeat(local_id, beat.data, beat.last, beat.tag))
+            data, err = beat.data, beat.err
+            hook = self._fault
+            if hook is not None:
+                verdict, data, err = hook.filter_r(cycle, beat)
+                if verdict == "drop":
+                    return  # beat lost on the link; the burst can never complete
+            up.r.push(RBeat(local_id, data, beat.last, beat.tag, err))
             self.forwarded["r"] += 1
 
     def _route_b(self, cycle: int) -> None:
@@ -166,6 +177,9 @@ class AxiBufferNode(Component):
         up = self.upstreams[idx]
         if up.b.can_push():
             down_b.pop()
+            hook = self._fault
+            if hook is not None and hook.drop_b(cycle, resp):
+                return  # response lost; the writer stalls and the watchdog fires
             up.b.push(BResp(local_id, resp.okay, resp.tag))
             self.forwarded["b"] += 1
 

@@ -66,7 +66,7 @@ class IdCompressor(Component):
             orig = self._read_orig.get(beat.tag)
             if orig is None:
                 raise SimulationError(f"{self.name}: R beat with unknown tag {beat.tag}")
-            self.up.r.push(RBeat(orig, beat.data, beat.last, beat.tag))
+            self.up.r.push(RBeat(orig, beat.data, beat.last, beat.tag, beat.err))
             if beat.last:
                 del self._read_orig[beat.tag]
         if self.down.port.b.can_pop() and self.up.b.can_push():

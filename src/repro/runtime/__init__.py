@@ -14,9 +14,11 @@ from repro.runtime.handle import (
     ResponseHandle,
     bindings_for,
 )
-from repro.runtime.server import RuntimeServer
+from repro.runtime.server import CommandContext, RuntimeServer, WatchdogConfig
 
 __all__ = [
+    "CommandContext",
+    "WatchdogConfig",
     "ClientHandle",
     "AllocationError",
     "EmbeddedAllocator",

@@ -6,15 +6,25 @@ host and device domains, and sends commands through the runtime server.
 Sending a command returns a :class:`ResponseHandle` future whose ``get()``
 advances the simulation until the accelerator responds — the same blocking
 semantics the generated C++ gives on real hardware.
+
+With a :class:`WatchdogConfig` installed the handle also owns *graceful
+degradation*: cores the server quarantines are marked degraded and later
+commands (including watchdog retries) are transparently rerouted to the next
+healthy core of the same system, so a wedged core costs throughput, not
+correctness.  Detected data corruption (``err`` beats poisoning the fault
+state) turns a completed command into a retry or a typed
+:class:`FaultedResponse` — never silently wrong data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.command.rocc import RoccInstruction, RoccResponse
+from repro.faults.errors import CommandTimeout, CoreQuarantined, FaultedResponse
 from repro.runtime.allocator import make_allocator
-from repro.runtime.server import RuntimeServer
+from repro.runtime.server import CommandContext, RuntimeServer, WatchdogConfig
+from repro.sim import DeadlockError
 
 
 class RemotePtr:
@@ -37,6 +47,8 @@ class RemotePtr:
         return self._host
 
     def write(self, data: bytes, offset: int = 0) -> None:
+        if offset < 0:
+            raise ValueError("negative write offset")
         if offset + len(data) > self.size:
             raise ValueError("write past end of allocation")
         self._host[offset : offset + len(data)] = data
@@ -44,7 +56,13 @@ class RemotePtr:
             self._handle._store_write(self.fpga_addr + offset, bytes(data))
 
     def read(self, length: Optional[int] = None, offset: int = 0) -> bytes:
+        if offset < 0:
+            raise ValueError("negative read offset")
         length = self.size - offset if length is None else length
+        if length < 0:
+            raise ValueError("negative read length")
+        if offset + length > self.size:
+            raise ValueError("read past end of allocation")
         if not self._handle.discrete:
             return self._handle._store_read(self.fpga_addr + offset, length)
         return bytes(self._host[offset : offset + length])
@@ -60,30 +78,64 @@ class RemotePtr:
 
 
 class ResponseHandle:
-    """Future for one in-flight accelerator command."""
+    """Future for one in-flight accelerator command.
+
+    Completes either with a response or with a typed error (watchdog
+    timeout, quarantine, detected corruption); ``get``/``try_get`` raise the
+    stored error rather than returning bad data.
+    """
 
     def __init__(self, handle: "FpgaHandle", response_spec) -> None:
         self._handle = handle
         self._spec = response_spec
         self._response: Optional[RoccResponse] = None
+        self._error: Optional[Exception] = None
         self.submitted_cycle = handle.design.sim.cycle
 
     def _complete(self, resp: RoccResponse) -> None:
-        self._response = resp
+        if self._error is None and self._response is None:
+            self._response = resp
+
+    def _fail(self, exc: Exception) -> None:
+        # First outcome wins; a late response after a typed error is dropped.
+        if self._error is None and self._response is None:
+            self._error = exc
 
     @property
     def done(self) -> bool:
-        return self._response is not None
+        return self._response is not None or self._error is not None
 
     def try_get(self) -> Optional[Dict[str, object]]:
         """Non-blocking check (paper: ``try_get``)."""
+        if self._error is not None:
+            raise self._error
         if self._response is None:
             return None
         return self._decode()
 
-    def get(self, max_cycles: int = 10_000_000) -> Dict[str, object]:
-        """Block (advance simulation) until the response arrives."""
-        self._handle.run_until(lambda: self._response is not None, max_cycles)
+    def get(
+        self, max_cycles: int = 10_000_000, timeout_cycles: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Block (advance simulation) until the response arrives.
+
+        ``timeout_cycles`` bounds how long *this wait* may run: past it the
+        wait raises :class:`CommandTimeout` (carrying the kernel's structured
+        deadlock dump) instead of the generic deadlock error.
+        """
+        budget = max_cycles if timeout_cycles is None else min(max_cycles, timeout_cycles)
+        try:
+            self._handle.run_until(lambda: self.done, budget)
+        except DeadlockError as exc:
+            if self._error is not None:
+                raise self._error
+            if timeout_cycles is not None:
+                raise CommandTimeout(
+                    f"no response within timeout_cycles={timeout_cycles}",
+                    dump=exc.dump,
+                ) from exc
+            raise
+        if self._error is not None:
+            raise self._error
         return self._decode()
 
     def _decode(self) -> Dict[str, object]:
@@ -104,16 +156,26 @@ class ResponseHandle:
 class FpgaHandle:
     """Open handle to the Beethoven runtime for one elaborated design."""
 
-    def __init__(self, design) -> None:
+    def __init__(self, design, watchdog: Optional[WatchdogConfig] = None) -> None:
         self.design = design
         platform = design.platform
         self.discrete = platform.host.discrete
         self.allocator = make_allocator(
             self.discrete, platform.memory_base, platform.memory_bytes
         )
+        wd = watchdog or getattr(design, "watchdog", None) or WatchdogConfig()
         self.server = RuntimeServer(
-            design.mmio, platform.host, spans=getattr(design, "span_tracker", None)
+            design.mmio,
+            platform.host,
+            spans=getattr(design, "span_tracker", None),
+            watchdog=wd,
+            tracer=getattr(design, "tracer", None),
         )
+        self.server.on_quarantine = self._mark_degraded
+        #: Cores taken out of rotation by the watchdog.
+        self.degraded_cores: Set[Tuple[int, int]] = set()
+        #: FaultState of the compiled FaultPlan, when one was elaborated in.
+        self.faults = getattr(design, "faults", None)
         design.sim.add(self.server)
         self.dma_cycles_spent = 0
 
@@ -162,11 +224,49 @@ class FpgaHandle:
         self._next_client = getattr(self, "_next_client", 0) + 1
         return ClientHandle(self, self._next_client, name or f"client{self._next_client}")
 
+    # ------------------------------------------------------------ degradation
+    def _mark_degraded(self, key: Tuple[int, int]) -> None:
+        self.degraded_cores.add(key)
+
+    def _route_core(self, system, core_idx: int) -> int:
+        """The preferred core, or the next healthy one of the same system."""
+        n = len(system.cores)
+        for k in range(n):
+            idx = (core_idx + k) % n
+            if (system.system_id, idx) not in self.degraded_cores:
+                if k:
+                    self.server.rerouted += 1
+                    tracer = getattr(self.design, "tracer", None)
+                    if tracer is not None:
+                        tracer.record(
+                            self.design.sim.cycle,
+                            "watchdog",
+                            "reroute",
+                            {"from": (system.system_id, core_idx),
+                             "to": (system.system_id, idx)},
+                        )
+                return idx
+        raise CoreQuarantined(
+            f"all {n} cores of system {system.config.name!r} are quarantined",
+            key=(system.system_id, core_idx),
+        )
+
     # ----------------------------------------------------------- command API
     def call(
-        self, system_name: str, io_name: str, core_idx: int, _client: int = 0, **fields
+        self,
+        system_name: str,
+        io_name: str,
+        core_idx: int,
+        _client: int = 0,
+        _retryable: bool = True,
+        **fields,
     ) -> ResponseHandle:
-        """Send one custom command; returns a response future."""
+        """Send one custom command; returns a response future.
+
+        ``_retryable=False`` marks the command non-idempotent: the watchdog
+        will never re-issue it, and a timeout surfaces directly as a typed
+        error on the future.
+        """
         design = self.design
         system = next(
             (s for s in design.systems if s.config.name == system_name), None
@@ -189,10 +289,67 @@ class FpgaHandle:
         )
         if io is None:
             raise KeyError(f"no IO {io_name!r} on system {system_name!r}")
-        chunks = io.command_spec.pack(fields, design.platform.addr_bits)
         handle = ResponseHandle(self, io.response_spec)
+        ctx = CommandContext(
+            key=(system.system_id, core_idx),
+            label=io_name,
+            retryable=_retryable,
+        )
+        ctx.resubmit = lambda: self._submit_command(
+            system, io_index, io, core_idx, dict(fields), handle, ctx, _client
+        )
+        ctx.on_error = handle._fail
+        self._submit_command(
+            system, io_index, io, core_idx, dict(fields), handle, ctx, _client
+        )
+        return handle
+
+    def _submit_command(
+        self, system, io_index, io, core_idx, fields, handle, ctx, client
+    ) -> None:
+        """Issue (or re-issue) one command onto the next healthy core."""
+        design = self.design
+        routed = self._route_core(system, core_idx)
+        ctx.key = (system.system_id, routed)
+        chunks = io.command_spec.pack(fields, design.platform.addr_bits)
 
         def on_response(resp: RoccResponse) -> None:
+            faults = self.faults
+            if faults is not None:
+                poison = faults.take_poison(ctx.key)
+                if poison:
+                    # Detected corruption: the data this response summarises
+                    # is suspect.  Re-run if allowed, else fail typed.
+                    if (
+                        ctx.retryable
+                        and ctx.attempts - 1 < self.server.watchdog.max_retries
+                    ):
+                        ctx.attempts += 1
+                        self.server.retries += 1
+                        try:
+                            self._submit_command(
+                                system, io_index, io, core_idx, fields,
+                                handle, ctx, client,
+                            )
+                        except Exception as exc:
+                            handle._fail(exc)
+                        return
+                    handle._fail(
+                        FaultedResponse(
+                            f"command {ctx.label!r} on core {ctx.key} completed "
+                            f"with {len(poison)} detected data fault(s)",
+                            key=ctx.key,
+                            attempts=ctx.attempts,
+                            events=poison,
+                        )
+                    )
+                    return
+                if ctx.attempts > 1:
+                    faults.note_recovery(
+                        design.sim.cycle,
+                        "runtime/handle",
+                        f"{ctx.label} ok after {ctx.attempts} attempts",
+                    )
             handle._note_completion_cycle(design.sim.cycle)
             handle._complete(resp)
 
@@ -200,7 +357,7 @@ class FpgaHandle:
             last = i == len(chunks) - 1
             inst = RoccInstruction(
                 system_id=system.system_id,
-                core_id=core_idx,
+                core_id=routed,
                 funct7=io_index,
                 rs1=rs1,
                 rs2=rs2,
@@ -211,10 +368,10 @@ class FpgaHandle:
                 inst,
                 on_response if last else None,
                 design.sim.cycle,
-                client=_client,
-                label=io_name,
+                client=client,
+                label=ctx.label,
+                ctx=ctx if last else None,
             )
-        return handle
 
     # ------------------------------------------------------------- sim plumbing
     def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:

@@ -7,19 +7,85 @@ registers while commands are in flight.  All three costs are platform
 parameters, and their serialisation is what produces the ideal-vs-measured
 gap for low-latency kernels in the paper's Figure 6 ("low-latency operations
 have much higher contention for the runtime server lock").
+
+The server also hosts the *command watchdog* (repro.faults): when a
+:class:`WatchdogConfig` with a deadline is installed, every in-flight command
+carries a deadline; commands past it are timed out, retried with capped
+exponential backoff when idempotent, and cores that keep missing deadlines
+are quarantined so the host can degrade gracefully instead of hanging.  With
+the default (disabled) config the watchdog adds no behaviour and no cost.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.command.rocc import RoccInstruction, RoccResponse
 from repro.command.router import MmioFrontend
+from repro.faults.errors import CommandTimeout
 from repro.obs.registry import Counter, Histogram
 from repro.platforms.base import HostInterface
 from repro.sim import NEVER, Component
+
+
+@dataclass
+class WatchdogConfig:
+    """Deadline/retry/quarantine policy for in-flight commands.
+
+    ``timeout_cycles=None`` (the default) disables the watchdog entirely —
+    the server then behaves exactly as before this layer existed.
+    """
+
+    #: Cycles a dispatched command may stay un-responded before timing out.
+    timeout_cycles: Optional[int] = None
+    #: Retries per command (beyond the first attempt) before giving up.
+    max_retries: int = 3
+    #: First retry waits this long; each further retry doubles it.
+    backoff_base_cycles: int = 256
+    #: Exponential backoff is capped here.
+    backoff_cap_cycles: int = 16384
+    #: Timeouts a core may accumulate before it is quarantined.
+    quarantine_strikes: int = 3
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout_cycles is not None and self.timeout_cycles > 0
+
+    def backoff_cycles(self, attempts: int) -> int:
+        """Backoff before attempt ``attempts + 1`` (attempts >= 1)."""
+        return min(self.backoff_base_cycles << (attempts - 1), self.backoff_cap_cycles)
+
+
+@dataclass
+class CommandContext:
+    """Watchdog-facing identity of one logical host command.
+
+    The host handle creates one per command it wants protected and threads it
+    through :meth:`RuntimeServer.submit`.  ``resubmit`` re-issues the command
+    (possibly onto a different core — the handle owns routing); ``on_error``
+    receives the terminal typed error instead of it escaping into the
+    simulation loop.
+    """
+
+    key: Tuple[int, int]
+    label: str = ""
+    retryable: bool = True
+    attempts: int = 1
+    resubmit: Optional[Callable[[], None]] = None
+    on_error: Optional[Callable[[Exception], None]] = None
+
+
+@dataclass
+class _Waiter:
+    """One in-flight command awaiting its response."""
+
+    callback: Callable[[RoccResponse], None]
+    span_id: int = 0
+    deadline: float = NEVER
+    ctx: Optional[CommandContext] = None
 
 
 @dataclass
@@ -32,6 +98,7 @@ class PendingCommand:
     dispatch_start: Optional[int] = None
     dispatch_end: Optional[int] = None
     span_id: int = 0  # observability root span (0 = untracked)
+    ctx: Optional[CommandContext] = None
 
 
 class RuntimeServer(Component):
@@ -43,6 +110,8 @@ class RuntimeServer(Component):
         host: HostInterface,
         name: str = "server",
         spans=None,
+        watchdog: Optional[WatchdogConfig] = None,
+        tracer=None,
     ) -> None:
         super().__init__(name)
         self.mmio = mmio
@@ -50,6 +119,8 @@ class RuntimeServer(Component):
         # Optional CommandSpanTracker: assigns IDs to host commands here and
         # follows them through dispatch, delivery, execution, and response.
         self.spans = spans
+        self.watchdog = watchdog if watchdog is not None else WatchdogConfig()
+        self.tracer = tracer
         # Fair arbitration: one command queue per client process, served
         # round-robin (the "arbitrating fair access to the command-response
         # bus" of Section II-C1).
@@ -62,10 +133,16 @@ class RuntimeServer(Component):
         self._lock_until = 0
         self._next_poll = 0
         self._resp_words: List[int] = []
-        # key -> FIFO of (callback, span_id) for in-flight commands.
-        self._waiters: Dict[
-            Tuple[int, int], Deque[Tuple[Callable[[RoccResponse], None], int]]
-        ] = {}
+        # key -> FIFO of in-flight waiters (per-core responses are ordered).
+        self._waiters: Dict[Tuple[int, int], Deque[_Waiter]] = {}
+        # Matured-retry min-heap of (ready_cycle, seq, ctx).
+        self._retry_heap: List[Tuple[int, int, CommandContext]] = []
+        self._retry_seq = 0
+        self._strikes: Dict[Tuple[int, int], int] = {}
+        #: Cores the watchdog has given up on; the handle reroutes around them.
+        self.quarantined: Set[Tuple[int, int]] = set()
+        #: Host hook invoked (once per core) at quarantine time.
+        self.on_quarantine: Optional[Callable[[Tuple[int, int]], None]] = None
         # Statistics for the contention analysis.  Typed metrics compare and
         # accumulate like ints, so call sites and tests read them unchanged.
         self.commands_sent = Counter()
@@ -73,6 +150,13 @@ class RuntimeServer(Component):
         self.lock_wait_cycles = Counter()
         self.busy_cycles = Counter()
         self.lock_wait_hist = Histogram()
+        # Watchdog statistics: always attached (zero when disabled) so metric
+        # dumps have a config-independent key set.
+        self.timeouts = Counter()
+        self.retries = Counter()
+        self.quarantines = Counter()
+        self.late_responses = Counter()
+        self.rerouted = Counter()  # incremented by the handle's router
         # Per-client lock-wait samples (enqueue -> dispatch), for fairness
         # analysis of the round-robin arbiter.
         self.client_lock_waits: Dict[int, List[int]] = {}
@@ -88,6 +172,14 @@ class RuntimeServer(Component):
         scope.attach("busy_cycles", self.busy_cycles)
         scope.attach("lock_wait", self.lock_wait_hist)
         scope.bind("in_flight", lambda: self.in_flight)
+        wd = scope.scope("watchdog")
+        wd.attach("timeouts", self.timeouts)
+        wd.attach("retries", self.retries)
+        wd.attach("quarantines", self.quarantines)
+        wd.attach("late_responses", self.late_responses)
+        wd.attach("rerouted", self.rerouted)
+        wd.bind("pending_retries", lambda: len(self._retry_heap))
+        wd.bind("quarantined_cores", lambda: len(self.quarantined))
         if self.spans is not None:
             self.spans.register_metrics(scope)
 
@@ -99,6 +191,7 @@ class RuntimeServer(Component):
         cycle_hint: int = 0,
         client: int = 0,
         label: Optional[str] = None,
+        ctx: Optional[CommandContext] = None,
     ) -> None:
         cmd = PendingCommand(
             inst.encode_words(),
@@ -106,6 +199,7 @@ class RuntimeServer(Component):
             (inst.system_id, inst.core_id),
             cycle_hint,
             client,
+            ctx=ctx,
         )
         # Only the completing chunk of a multi-chunk command carries the
         # response callback; that chunk is the one the span follows.
@@ -131,8 +225,11 @@ class RuntimeServer(Component):
     @property
     def in_flight(self) -> int:
         queued = sum(len(q) for q in self._queues.values())
-        return queued + (1 if self._current else 0) + sum(
-            len(q) for q in self._waiters.values()
+        return (
+            queued
+            + (1 if self._current else 0)
+            + sum(len(q) for q in self._waiters.values())
+            + len(self._retry_heap)
         )
 
     def idle(self) -> bool:
@@ -140,18 +237,26 @@ class RuntimeServer(Component):
             self._current is None
             and not any(self._queues.values())
             and not any(self._waiters.values())
+            and not self._retry_heap
         )
 
     # ------------------------------------------------------------ behaviour
     def tick(self, cycle: int) -> None:
+        if self._retry_heap:
+            self._service_retries(cycle)
         self._dispatch(cycle)
         self._poll(cycle)
+        # Deadlines are checked after polling so a response landing exactly
+        # at the deadline cycle still wins.
+        if self.watchdog.enabled and any(self._waiters.values()):
+            self._check_deadlines(cycle)
 
     def next_event(self, cycle: int) -> float:
         """Next cycle the server acts: a word dispatch, a lock acquisition,
-        or a poll visit.  An idle server (no queued commands, nothing in
-        flight, no waiters) only wakes on a new host submission, which the
-        host performs between run calls — so it reports :data:`NEVER`."""
+        a poll visit, a matured retry, or a waiter deadline.  An idle server
+        (no queued commands, nothing in flight, no waiters) only wakes on a
+        new host submission, which the host performs between run calls — so
+        it reports :data:`NEVER`."""
         nxt = NEVER
         if self._current is not None:
             nxt = min(nxt, max(cycle, self._next_word_cycle))
@@ -159,6 +264,12 @@ class RuntimeServer(Component):
             nxt = min(nxt, max(cycle, self._lock_until))
         if any(self._waiters.values()):
             nxt = min(nxt, max(cycle, self._next_poll))
+            if self.watchdog.enabled:
+                for waiters in self._waiters.values():
+                    if waiters:
+                        nxt = min(nxt, max(cycle, waiters[0].deadline))
+        if self._retry_heap:
+            nxt = min(nxt, max(cycle, self._retry_heap[0][0]))
         return nxt
 
     def wake_channels(self):
@@ -194,8 +305,11 @@ class RuntimeServer(Component):
                 if self.spans is not None and cmd.span_id:
                     self.spans.dispatch_end(cycle, cmd.span_id, cmd.key)
                 if cmd.on_response is not None:
+                    deadline: float = NEVER
+                    if self.watchdog.enabled:
+                        deadline = cycle + self.watchdog.timeout_cycles
                     self._waiters.setdefault(cmd.key, deque()).append(
-                        (cmd.on_response, cmd.span_id)
+                        _Waiter(cmd.on_response, cmd.span_id, deadline, cmd.ctx)
                     )
                 self.commands_sent += 1
                 self._current = None
@@ -218,12 +332,124 @@ class RuntimeServer(Component):
                 key = (resp.system_id, resp.core_id)
                 waiters = self._waiters.get(key)
                 if waiters:
-                    callback, span_id = waiters.popleft()
-                    if self.spans is not None and span_id:
-                        self.spans.command_completed(cycle, span_id)
-                    callback(resp)
+                    waiter = waiters.popleft()
+                    if self.spans is not None and waiter.span_id:
+                        self.spans.command_completed(cycle, waiter.span_id)
+                    if self._strikes:
+                        self._strikes.pop(key, None)  # core proved healthy
+                    waiter.callback(resp)
+                else:
+                    # A command we already timed out answered after all.
+                    self.late_responses += 1
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            cycle, "watchdog", "late_response", {"core": key}
+                        )
                 self.responses_received += 1
         if progressed:
             self._next_poll = cycle + self.host.mmio_word_cycles
         else:
             self._next_poll = cycle + self.host.response_poll_cycles
+
+    # ------------------------------------------------------------- watchdog
+    def _service_retries(self, cycle: int) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= cycle:
+            _, _, ctx = heapq.heappop(self._retry_heap)
+            self.retries += 1
+            ctx.attempts += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    cycle,
+                    "watchdog",
+                    "retry",
+                    {"core": ctx.key, "label": ctx.label, "attempt": ctx.attempts},
+                )
+            try:
+                ctx.resubmit()
+            except Exception as exc:  # e.g. CoreQuarantined from rerouting
+                if ctx.on_error is not None:
+                    ctx.on_error(exc)
+                else:
+                    raise
+
+    def _check_deadlines(self, cycle: int) -> None:
+        for key, waiters in self._waiters.items():
+            while waiters and cycle >= waiters[0].deadline:
+                self._on_timeout(cycle, key, waiters.popleft())
+
+    def _on_timeout(self, cycle: int, key: Tuple[int, int], waiter: _Waiter) -> None:
+        self.timeouts += 1
+        strikes = self._strikes.get(key, 0) + 1
+        self._strikes[key] = strikes
+        ctx = waiter.ctx
+        label = ctx.label if ctx is not None else ""
+        if self.tracer is not None:
+            self.tracer.record(
+                cycle,
+                "watchdog",
+                "timeout",
+                {"core": key, "label": label, "strikes": strikes},
+            )
+        if self.spans is not None and waiter.span_id:
+            self.spans.command_completed(cycle, waiter.span_id)
+        if strikes >= self.watchdog.quarantine_strikes and key not in self.quarantined:
+            self.quarantined.add(key)
+            self.quarantines += 1
+            if self.tracer is not None:
+                self.tracer.record(cycle, "watchdog", "quarantine", {"core": key})
+            if self.on_quarantine is not None:
+                self.on_quarantine(key)
+        if (
+            ctx is not None
+            and ctx.retryable
+            and ctx.resubmit is not None
+            and ctx.attempts - 1 < self.watchdog.max_retries
+        ):
+            self._retry_seq += 1
+            heapq.heappush(
+                self._retry_heap,
+                (cycle + self.watchdog.backoff_cycles(ctx.attempts), self._retry_seq, ctx),
+            )
+            return
+        err = CommandTimeout(
+            f"command {label or '<untracked>'} on core {key} timed out at cycle "
+            f"{cycle} after {ctx.attempts if ctx else 1} attempt(s)",
+            key=key,
+            attempts=ctx.attempts if ctx else 1,
+        )
+        if ctx is not None and ctx.on_error is not None:
+            ctx.on_error(err)
+        else:
+            raise err
+
+    # ---------------------------------------------------------- diagnostics
+    def debug_state(self):
+        if self.idle():
+            return None
+        state: Dict[str, object] = {
+            "queued": sum(len(q) for q in self._queues.values()),
+            "dispatching": (
+                {"core": self._current.key, "words_left": len(self._words_left)}
+                if self._current is not None
+                else None
+            ),
+            "waiting": {
+                str(key): [
+                    {
+                        "deadline": (None if w.deadline == NEVER else int(w.deadline)),
+                        "label": w.ctx.label if w.ctx else "",
+                        "attempts": w.ctx.attempts if w.ctx else 1,
+                    }
+                    for w in waiters
+                ]
+                for key, waiters in self._waiters.items()
+                if waiters
+            },
+            "pending_retries": [
+                {"ready": ready, "core": ctx.key, "label": ctx.label}
+                for ready, _, ctx in sorted(self._retry_heap)
+            ],
+        }
+        if self.quarantined:
+            state["quarantined"] = sorted(self.quarantined)
+        return state

@@ -5,6 +5,7 @@ from repro.sim.kernel import (
     SCHEDULING_MODES,
     ChannelQueue,
     Component,
+    DeadlockError,
     SimulationError,
     Simulator,
 )
@@ -13,6 +14,7 @@ from repro.sim.trace import (
     Span,
     TraceEvent,
     Tracer,
+    render_deadlock_report,
     render_skip_report,
     render_wake_report,
     skip_summary,
@@ -22,6 +24,7 @@ from repro.sim.trace import (
 __all__ = [
     "ChannelQueue",
     "Component",
+    "DeadlockError",
     "NEVER",
     "SCHEDULING_MODES",
     "SimulationError",
@@ -30,6 +33,7 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "render_deadlock_report",
     "render_skip_report",
     "render_wake_report",
     "skip_summary",

@@ -44,6 +44,21 @@ class SimulationError(RuntimeError):
     """Raised for illegal channel usage or a wedged simulation."""
 
 
+class DeadlockError(SimulationError):
+    """A ``run()`` budget expired with its predicate still pending.
+
+    Subclasses :class:`SimulationError` so existing ``except`` clauses keep
+    working, but additionally carries ``dump`` — the structured state
+    snapshot from :meth:`Simulator.state_dump` (channel occupancies,
+    component debug states, wake-heap contents) taken at the moment the
+    budget ran out.  ``repro.sim.trace.render_deadlock_report`` renders it.
+    """
+
+    def __init__(self, message: str, dump: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.dump = dump if dump is not None else {}
+
+
 class ChannelQueue(Generic[T]):
     """A registered FIFO channel with start-of-cycle visibility semantics.
 
@@ -262,6 +277,16 @@ class Component:
         Called by :meth:`Simulator.add`; the default registers nothing
         (channel statistics are bound separately by the simulator).
         """
+
+    def debug_state(self) -> Optional[Dict[str, Any]]:
+        """Structured snapshot for deadlock dumps, or ``None`` when idle.
+
+        Components with interesting blocking state (the runtime server's
+        waiters, the memory controller's in-flight transactions) override
+        this; :meth:`Simulator.state_dump` collects every non-``None`` result
+        into the :class:`DeadlockError` payload.
+        """
+        return None
 
 
 class Simulator:
@@ -514,9 +539,7 @@ class Simulator:
             ):
                 self._try_fast_forward(deadline, to_deadline_ok=until is None)
         if until is not None and not pred:
-            raise SimulationError(
-                f"simulation {self.name!r} did not converge in {max_cycles} cycles"
-            )
+            self._raise_deadlock(max_cycles)
         return self.cycle
 
     # -- selective scheduling -------------------------------------------------
@@ -658,15 +681,66 @@ class Simulator:
         # the final cycle before anyone reads them.
         self._sync_channel_stats()
         if self.cycle >= deadline and until is not None and not pred:
-            raise SimulationError(
-                f"simulation {self.name!r} did not converge in {max_cycles} cycles"
-            )
+            self._raise_deadlock(max_cycles)
         return self.cycle
 
     def _sync_channel_stats(self) -> None:
         cycle = self.cycle
         for chan in self._channels:
             chan.sync_observations(cycle)
+
+    # -- deadlock diagnosis ---------------------------------------------------
+    def state_dump(self) -> Dict[str, Any]:
+        """Structured snapshot of everything that could explain a stall.
+
+        Collected when a ``run()`` budget expires with its predicate pending:
+        non-empty channel occupancies, each component's
+        :meth:`Component.debug_state`, and (under selective scheduling) the
+        wake heap and woken set.  Cheap enough to also call ad hoc while
+        debugging a live simulation.
+        """
+        channels: Dict[str, Dict[str, int]] = {}
+        for chan in self._channels:
+            occ = len(chan)
+            staged = len(chan._staged)
+            if occ or staged or chan._pop_count:
+                channels[chan.name] = {
+                    "occupancy": occ,
+                    "staged": staged,
+                    "pending_pops": chan._pop_count,
+                    "capacity": chan.capacity,
+                }
+        components: Dict[str, Dict[str, Any]] = {}
+        for comp in self._components:
+            try:
+                state = comp.debug_state()
+            except Exception:  # noqa: BLE001 — diagnosis must never mask the stall
+                state = {"debug_state": "unavailable"}
+            if state:
+                components[comp.name] = state
+        dump: Dict[str, Any] = {
+            "sim": self.name,
+            "cycle": self.cycle,
+            "scheduling": self.scheduling,
+            "channels": channels,
+            "components": components,
+        }
+        if self._selective:
+            dump["wake_heap"] = sorted(
+                (cyc, self._components[idx].name) for cyc, idx in self._wake_heap
+            )
+            dump["woken"] = sorted(self._components[idx].name for idx in self._woken)
+        return dump
+
+    def _raise_deadlock(self, max_cycles: int) -> None:
+        from repro.sim.trace import render_deadlock_report  # lazy: avoid cycle
+
+        dump = self.state_dump()
+        raise DeadlockError(
+            f"simulation {self.name!r} did not converge in {max_cycles} cycles\n"
+            + render_deadlock_report(dump),
+            dump,
+        )
 
     # -- event skipping -----------------------------------------------------
     def _try_fast_forward(self, deadline: int, to_deadline_ok: bool) -> None:

@@ -199,6 +199,53 @@ def render_skip_report(sim) -> str:
     )
 
 
+def render_deadlock_report(dump: Dict[str, Any], top: int = 16) -> str:
+    """Human rendering of a :meth:`~repro.sim.Simulator.state_dump`.
+
+    Mirrors :func:`render_wake_report`'s table style: the busiest channels
+    first (they are usually the smoking gun — a full queue nobody drains),
+    then each component's own debug state, then the selective scheduler's
+    wake heap.  ``top`` bounds the channel rows.
+    """
+    lines = [
+        f"deadlock state of sim {dump.get('sim')!r} at cycle {dump.get('cycle')} "
+        f"({dump.get('scheduling')} scheduling)"
+    ]
+    channels = dump.get("channels", {})
+    if channels:
+        rows = sorted(
+            channels.items(),
+            key=lambda kv: -(kv[1]["occupancy"] + kv[1]["staged"]),
+        )
+        shown = rows[:top] if top is not None else rows
+        width = max(len(name) for name, _ in shown)
+        lines.append(f"  {len(channels)} channel(s) holding items:")
+        for name, c in shown:
+            lines.append(
+                f"    {name:<{width}} occupancy {c['occupancy']}/{c['capacity']}"
+                f" staged {c['staged']} pending_pops {c['pending_pops']}"
+            )
+        if len(rows) > len(shown):
+            lines.append(f"    ... {len(rows) - len(shown)} more")
+    else:
+        lines.append("  all channels empty")
+    components = dump.get("components", {})
+    for name, state in components.items():
+        body = ", ".join(f"{k}={v!r}" for k, v in state.items())
+        lines.append(f"  {name}: {body}")
+    heap = dump.get("wake_heap")
+    if heap is not None:
+        if heap:
+            entries = ", ".join(f"{name}@{cyc}" for cyc, name in heap[:top])
+            lines.append(f"  wake heap ({len(heap)}): {entries}")
+        else:
+            lines.append("  wake heap: empty")
+    woken = dump.get("woken")
+    if woken:
+        lines.append(f"  woken now: {', '.join(woken)}")
+    return "\n".join(lines)
+
+
 def wake_summary(sim) -> Dict[str, Dict[str, float]]:
     """Per-component tick accounting of a :class:`~repro.sim.Simulator` run.
 

@@ -1,0 +1,94 @@
+"""Error-path tests for the host runtime: allocator misuse, out-of-bounds
+``RemotePtr`` access, and allocation exhaustion — the paths a chaos run
+leans on but unit tests had never pinned down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.build import BeethovenBuild
+from repro.kernels.memcpy import memcpy_config
+from repro.platforms import AWSF1Platform
+from repro.runtime import AllocationError, FirstFitAllocator, FpgaHandle
+
+
+@pytest.fixture(scope="module")
+def handle():
+    build = BeethovenBuild(memcpy_config(n_cores=1), AWSF1Platform())
+    return FpgaHandle(build.design)
+
+
+# ------------------------------------------------------------- allocator
+def test_double_free_rejected():
+    alloc = FirstFitAllocator(0, 4096)
+    addr = alloc.malloc(128)
+    alloc.free(addr)
+    with pytest.raises(AllocationError, match="unknown address"):
+        alloc.free(addr)
+
+
+def test_free_of_never_allocated_address_rejected():
+    alloc = FirstFitAllocator(0, 4096)
+    with pytest.raises(AllocationError, match="unknown address"):
+        alloc.free(0x40)
+
+
+def test_out_of_memory_is_typed_and_recoverable():
+    alloc = FirstFitAllocator(0, 4096)
+    a = alloc.malloc(4096)
+    with pytest.raises(AllocationError, match="out of accelerator memory"):
+        alloc.malloc(64)
+    alloc.free(a)  # the failed malloc must not have corrupted the free list
+    assert alloc.malloc(4096) == a
+
+
+def test_non_positive_allocation_rejected():
+    alloc = FirstFitAllocator(0, 4096)
+    for n in (0, -1):
+        with pytest.raises(AllocationError, match="must be positive"):
+            alloc.malloc(n)
+    assert alloc.free_bytes == 4096
+
+
+def test_handle_free_of_foreign_ptr_rejected(handle):
+    ptr = handle.malloc(256)
+    handle.free(ptr)
+    with pytest.raises(AllocationError):
+        handle.free(ptr)
+
+
+# -------------------------------------------------------------- RemotePtr
+def test_remote_ptr_write_bounds(handle):
+    ptr = handle.malloc(256)
+    with pytest.raises(ValueError, match="past end"):
+        ptr.write(b"x" * 257)
+    with pytest.raises(ValueError, match="past end"):
+        ptr.write(b"x" * 16, offset=250)
+    with pytest.raises(ValueError, match="negative"):
+        ptr.write(b"x", offset=-1)
+    handle.free(ptr)
+
+
+def test_remote_ptr_read_bounds(handle):
+    ptr = handle.malloc(256)
+    ptr.write(bytes(range(256)))
+    with pytest.raises(ValueError, match="past end"):
+        ptr.read(length=257)
+    with pytest.raises(ValueError, match="past end"):
+        ptr.read(length=16, offset=250)
+    with pytest.raises(ValueError, match="negative"):
+        ptr.read(offset=-8)
+    with pytest.raises(ValueError, match="negative"):
+        ptr.read(length=-1)
+    # In-bounds access still works after the failed probes.
+    assert ptr.read(length=4, offset=252) == bytes([252, 253, 254, 255])
+    handle.free(ptr)
+
+
+def test_remote_ptr_offset_bounds(handle):
+    ptr = handle.malloc(64)
+    assert ptr.offset(64) == ptr.fpga_addr + 64
+    for n in (-1, 65):
+        with pytest.raises(ValueError, match="outside allocation"):
+            ptr.offset(n)
+    handle.free(ptr)
