@@ -8,11 +8,14 @@ Two 32-core memcpy configurations exercise the scheduling spectrum:
   scheduling exists for.
 * ``dense``  — all 32 cores streaming concurrently: near-worst case for
   selective scheduling (most components wake most cycles), bounding its
-  overhead when there is nothing to elide.
+  overhead when there is nothing to elide.  This is the configuration the
+  ``compiled`` tick-program backend targets: same wake decisions as
+  selective, but with dispatch specialised into closures and commit drains
+  flattened, so the per-tick overhead share shrinks.
 
 Each (case, schedule) cell is run twice and the faster repetition is kept
 (wall clock only; elaboration excluded).  Cycle counts must be identical
-across the three schedules — the benchmark doubles as a differential check.
+across all four schedules — the benchmark doubles as a differential check.
 
 Run as a script to emit ``BENCH_kernel.json``::
 
@@ -99,6 +102,10 @@ def _run_case(name, active_cores, size, rounds):
             "selective_vs_fast_forward": round(
                 walls["fast_forward"] / walls["selective"], 2
             ),
+            "compiled_vs_naive": round(walls["naive"] / walls["compiled"], 2),
+            "compiled_vs_selective": round(
+                walls["selective"] / walls["compiled"], 2
+            ),
         },
     }
 
@@ -133,6 +140,10 @@ def render(results) -> str:
             f"{case:<8} selective speedup: {s['selective_vs_naive']}x vs naive, "
             f"{s['selective_vs_fast_forward']}x vs fast_forward"
         )
+        lines.append(
+            f"{case:<8} compiled speedup:  {s['compiled_vs_naive']}x vs naive, "
+            f"{s['compiled_vs_selective']}x vs selective"
+        )
     return "\n".join(lines)
 
 
@@ -149,6 +160,13 @@ def test_kernel_hotpath_sparse_speedup():
     assert sparse["modes"]["selective"]["elided_tick_fraction"] > 0.8
     # ...while naive by definition elides nothing.
     assert sparse["modes"]["naive"]["elided_tick_fraction"] == 0.0
+    # The compiled backend must not be slower than selective on the dense
+    # case it exists for (same decisions, specialised dispatch).  The CI
+    # regression gate (--min-dense-compiled-speedup) enforces a tighter
+    # floor; here we only guard against a wash.
+    dense = results["cases"]["dense"]
+    assert dense["modes"]["compiled"]["elided_tick_fraction"] > 0.0
+    assert dense["speedup"]["compiled_vs_selective"] >= 1.1
     with open("BENCH_kernel.json", "w") as fh:
         json.dump(results, fh, indent=2)
 
@@ -162,6 +180,12 @@ def main():
         help="fail unless selective beats fast_forward by this factor "
         "on the sparse case (0 disables)",
     )
+    parser.add_argument(
+        "--min-dense-compiled-speedup", type=float, default=0.0,
+        help="fail unless compiled beats selective by this factor "
+        "on the dense case (0 disables); CI uses this as a regression "
+        "floor below the measured steady-state ratio",
+    )
     args = parser.parse_args()
     results = run_benchmark(quick=args.quick)
     print(render(results))
@@ -173,6 +197,12 @@ def main():
         raise SystemExit(
             f"sparse selective-vs-fast_forward speedup {measured}x "
             f"< required {args.min_sparse_speedup}x"
+        )
+    dense_compiled = results["cases"]["dense"]["speedup"]["compiled_vs_selective"]
+    if args.min_dense_compiled_speedup and dense_compiled < args.min_dense_compiled_speedup:
+        raise SystemExit(
+            f"dense compiled-vs-selective speedup {dense_compiled}x "
+            f"< required {args.min_dense_compiled_speedup}x"
         )
 
 

@@ -54,7 +54,7 @@ class AxiParams:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ARReq:
     """Read address channel payload (one burst)."""
 
@@ -67,7 +67,7 @@ class ARReq:
         return self.length * beat_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RBeat:
     """Read data channel payload (one beat).
 
@@ -84,7 +84,7 @@ class RBeat:
     err: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AWReq:
     """Write address channel payload (one burst)."""
 
@@ -94,7 +94,7 @@ class AWReq:
     tag: int = field(default_factory=_next_txn_tag)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WBeat:
     """Write data channel payload (one beat); strb masks written bytes."""
 
@@ -103,7 +103,7 @@ class WBeat:
     strb: Optional[bytes] = None  # None means all bytes valid
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BResp:
     """Write response channel payload."""
 

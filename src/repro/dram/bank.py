@@ -16,7 +16,7 @@ from typing import Optional
 from repro.dram.timing import DramTiming
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     timing: DramTiming
     open_row: Optional[int] = None

@@ -34,7 +34,7 @@ from repro.obs.registry import Counter
 from repro.sim import Component
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadTxn:
     tag: int
     axi_id: int
@@ -51,7 +51,7 @@ class _ReadTxn:
         self.beats = [None] * self.length
 
 
-@dataclass
+@dataclass(slots=True)
 class _WriteTxn:
     tag: int
     axi_id: int
@@ -64,7 +64,7 @@ class _WriteTxn:
     cols_done: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ColReq:
     txn: object
     beat_idx: int
@@ -392,6 +392,337 @@ class MemoryController(Component):
         # component; request arrivals (and freed R/B space) on them are the
         # only external events that unblock the controller.
         return self.port.channels()
+
+    # ------------------------------------------------------------- compiled tick
+    def compile_tick(self):
+        """Specialised tick for the compiled scheduler.
+
+        Same phases, same decisions, same statistics as :meth:`tick`; the
+        difference is purely mechanical — channel endpoints, bank objects,
+        timing constants and stat counters are captured as locals, the
+        FR-FCFS ready scan runs once with an early exit instead of building
+        ready/same-dir lists, the bank-prep row test is inlined, and the
+        return-path round-robin rotation is computed arithmetically instead
+        of slicing ``_return_rr`` twice per call.
+        """
+        timing = self.timing
+        t_refi = timing.t_refi
+        t_rfc = timing.t_rfc
+        t_cl = timing.t_cl
+        t_ras = timing.t_ras
+        t_rcd = timing.t_rcd
+        t_rp = timing.t_rp
+        t_bus_turn = timing.t_bus_turn
+        streak_limit = timing.direction_streak
+        sched_depth = timing.sched_queue_depth
+        max_txns = timing.max_outstanding_txns
+        beat_bytes = timing.col_bytes
+        decompose = timing.decompose
+        banks = self.banks
+        port = self.port
+        ar, aw, w, r, b = port.ar, port.aw, port.w, port.r, port.b
+        push_r, push_b = self.mport.push_r, self.mport.push_b
+        sched = self._sched
+        read_txns, write_txns = self._read_txns, self._write_txns
+        id_read_issue = self._id_read_issue
+        id_write_issue = self._id_write_issue
+        id_read_return = self._id_read_return
+        id_write_return = self._id_write_return
+        id_read_pipe = self._id_read_pipe
+        id_write_pipe = self._id_write_pipe
+        awaiting = self._writes_awaiting_data
+        store_read, store_write = self.store.read, self.store.write
+        may_start, retire, note_id = self._may_start, self._retire, self._note_id
+        rr = self._return_rr
+        # [n_rr_ids, n_read_return_keys, n_write_return_keys, read_qs, write_qs]
+        rr_cache: list = [0, -1, -1, (), ()]
+        stats = self.stats
+        s_bus = stats["bus_cycles"]
+        s_rcols = stats["read_cols"]
+        s_wcols = stats["write_cols"]
+        s_turn = stats["turnarounds"]
+        s_hits = stats["row_hits"]
+        s_miss = stats["row_misses"]
+        s_refresh = stats["refreshes"]
+
+        def tick(cycle, self=self):
+            # -- refresh --------------------------------------------------
+            if cycle and not cycle % t_refi:
+                blocked = cycle + t_rfc
+                for bank in banks:
+                    if bank.ready_at < blocked:
+                        bank.ready_at = blocked
+                    bank.open_row = None
+                s_refresh.value += 1
+            # -- accept ---------------------------------------------------
+            if ar._pop_count < len(ar._items) and (
+                len(read_txns) + len(write_txns) < max_txns
+            ):
+                req = ar.pop()
+                txn = _ReadTxn(req.tag, req.axi_id, req.addr, req.length, cycle)
+                read_txns[req.tag] = txn
+                id_read_issue.setdefault(req.axi_id, deque()).append(txn)
+                id_read_return.setdefault(req.axi_id, deque()).append(txn)
+                id_read_pipe.setdefault(req.axi_id, deque()).append(txn)
+                note_id(req.axi_id)
+            if aw._pop_count < len(aw._items) and (
+                len(read_txns) + len(write_txns) < max_txns
+            ):
+                req = aw.pop()
+                wtxn = _WriteTxn(req.tag, req.axi_id, req.addr, req.length, cycle)
+                write_txns[req.tag] = wtxn
+                id_write_issue.setdefault(req.axi_id, deque()).append(wtxn)
+                id_write_return.setdefault(req.axi_id, deque()).append(wtxn)
+                id_write_pipe.setdefault(req.axi_id, deque()).append(wtxn)
+                awaiting.append(wtxn)
+                note_id(req.axi_id)
+            if awaiting and w._pop_count < len(w._items):
+                head = awaiting[0]
+                beat = w.pop()
+                head.wbeats.append(beat)
+                if beat.last:
+                    head.data_complete = True
+                    awaiting.popleft()
+            # -- enqueue columns ------------------------------------------
+            budget = 8
+            n_sched = len(sched)
+            if n_sched < sched_depth:
+                for axi_id, q in id_read_issue.items():
+                    while q:
+                        txn = q[0]
+                        enq = txn.cols_enqueued
+                        if enq >= txn.length:
+                            q.popleft()
+                            continue
+                        if enq == 0 and not may_start(id_read_pipe, axi_id, txn):
+                            break
+                        addr = txn.addr + enq * beat_bytes
+                        bank_i, row, _col = decompose(addr)
+                        sched.append(_ColReq(txn, enq, addr, bank_i, row, False, cycle))
+                        n_sched += 1
+                        enq += 1
+                        txn.cols_enqueued = enq
+                        budget -= 1
+                        if enq >= txn.length:
+                            q.popleft()
+                            break
+                        if not budget or n_sched >= sched_depth:
+                            break
+                    if not budget or n_sched >= sched_depth:
+                        break
+            if budget and n_sched < sched_depth:
+                for axi_id, q in id_write_issue.items():
+                    while q:
+                        txn = q[0]
+                        enq = txn.cols_enqueued
+                        if enq >= txn.length:
+                            q.popleft()
+                            continue
+                        if enq >= len(txn.wbeats):
+                            break  # cut-through: wait for the W beat
+                        if enq == 0 and not may_start(id_write_pipe, axi_id, txn):
+                            break
+                        addr = txn.addr + enq * beat_bytes
+                        bank_i, row, _col = decompose(addr)
+                        sched.append(_ColReq(txn, enq, addr, bank_i, row, True, cycle))
+                        n_sched += 1
+                        enq += 1
+                        txn.cols_enqueued = enq
+                        budget -= 1
+                        if enq >= txn.length:
+                            q.popleft()
+                            break
+                        if not budget or n_sched >= sched_depth:
+                            break
+                    if not budget or n_sched >= sched_depth:
+                        break
+            if sched:
+                # -- prep banks + FR-FCFS pick, one fused walk ------------
+                # Equivalent to the separate prep-then-issue passes: a
+                # bank's prep decision happens at its first occurrence in
+                # ``sched``, which precedes (or is) any entry of that bank
+                # the issue check visits, so every readiness test still sees
+                # post-prep bank state; preps consume their budget in the
+                # same first-occurrence order; and the walk only stops early
+                # once both the pick is settled and prep can do no more.
+                preps = 2
+                seen = 0
+                full_mask = (1 << len(banks)) - 1
+                can_issue = cycle >= self._bus_free_at
+                dir_write = self._bus_dir_write
+                want_same = self._dir_streak < streak_limit
+                pick = -1
+                first_ready = -1
+                for i, req in enumerate(sched):
+                    bank = banks[req.bank]
+                    row = req.row
+                    bit = 1 << req.bank
+                    if not seen & bit:
+                        seen |= bit
+                        if preps and bank.open_row != row and cycle >= bank.ready_at:
+                            prev_row = bank.open_row
+                            if prev_row is None:
+                                cost = t_rcd
+                                can_prep = True
+                            elif cycle >= bank.activated_at + t_ras:
+                                cost = t_rcd + t_rp
+                                can_prep = True
+                            else:
+                                can_prep = False  # t_ras not yet satisfied
+                            if can_prep:
+                                bank.open_row = row
+                                bank.ready_at = cycle + cost
+                                bank.activated_at = cycle + cost - t_rcd
+                                bank.activations += 1
+                                bank.row_misses += 1
+                                s_miss.value += 1
+                                preps -= 1
+                    if (
+                        can_issue
+                        and pick < 0
+                        and bank.open_row == row
+                        and cycle >= bank.ready_at
+                    ):
+                        if first_ready < 0:
+                            first_ready = i
+                            if not want_same:
+                                pick = i
+                        if pick < 0 and req.is_write == dir_write:
+                            pick = i
+                    if (pick >= 0 or not can_issue) and (
+                        not preps or seen == full_mask
+                    ):
+                        break
+                if can_issue:
+                    if pick < 0:
+                        pick = first_ready  # no same-direction column ready
+                    if pick >= 0:
+                        req = sched[pick]
+                        is_write = req.is_write
+                        if is_write != dir_write:
+                            self._bus_dir_write = is_write
+                            self._dir_streak = 1
+                            s_turn.value += 1
+                            self._bus_free_at = cycle + 1 + t_bus_turn
+                        else:
+                            self._dir_streak += 1
+                            self._bus_free_at = cycle + 1
+                        s_bus.value += 1
+                        del sched[pick]
+                        bank = banks[req.bank]
+                        bank.row_hits += 1
+                        s_hits.value += 1
+                        txn = req.txn
+                        if is_write:
+                            beat = txn.wbeats[req.beat_idx]
+                            store_write(req.addr, beat.data, beat.strb)
+                            txn.cols_done += 1
+                            s_wcols.value += 1
+                        else:
+                            data = store_read(req.addr, beat_bytes)
+                            err = False
+                            hook = self._fault
+                            if hook is not None:
+                                data, err = hook.filter_read(cycle, req.addr, data)
+                            txn.beats[req.beat_idx] = (cycle + t_cl, data, err)
+                            txn.cols_done += 1
+                            s_rcols.value += 1
+            # -- return read data -----------------------------------------
+            # ``rr`` only grows (note_id) and the per-ID return deques are
+            # created once and never deleted, so the rr-aligned queue lists
+            # are rebuilt only when one of those key counts changes.
+            n_ids = len(rr)
+            if n_ids:
+                if (
+                    rr_cache[0] != n_ids
+                    or rr_cache[1] != len(id_read_return)
+                    or rr_cache[2] != len(id_write_return)
+                ):
+                    rr_cache[0] = n_ids
+                    rr_cache[1] = len(id_read_return)
+                    rr_cache[2] = len(id_write_return)
+                    rr_cache[3] = [id_read_return.get(i) for i in rr]
+                    rr_cache[4] = [id_write_return.get(i) for i in rr]
+                rr_read_qs = rr_cache[3]
+                rr_write_qs = rr_cache[4]
+            if n_ids and len(r._items) + len(r._staged) < r.capacity:
+                pos = self._return_rr_pos % n_ids
+                for _ in range(n_ids):
+                    axi_id = rr[pos]
+                    q = rr_read_qs[pos]
+                    pos += 1
+                    if pos == n_ids:
+                        pos = 0
+                    if not q:
+                        continue
+                    txn = q[0]
+                    sent = txn.beats_sent
+                    entry = txn.beats[sent]
+                    if entry is None or entry[0] > cycle:
+                        continue
+                    last = sent == txn.length - 1
+                    push_r(
+                        cycle,
+                        RBeat(
+                            axi_id=axi_id,
+                            data=entry[1],
+                            last=last,
+                            tag=txn.tag,
+                            err=entry[2],
+                        ),
+                    )
+                    txn.beats_sent = sent + 1
+                    if last:
+                        q.popleft()
+                        del read_txns[txn.tag]
+                        retire(id_read_pipe, axi_id, txn)
+                    self._return_rr_pos += 1
+                    break
+            # -- return write responses -----------------------------------
+            if n_ids and len(b._items) + len(b._staged) < b.capacity:
+                pos = self._return_rr_pos % n_ids
+                for _ in range(n_ids):
+                    axi_id = rr[pos]
+                    q = rr_write_qs[pos]
+                    pos += 1
+                    if pos == n_ids:
+                        pos = 0
+                    if not q:
+                        continue
+                    txn = q[0]
+                    if txn.cols_done < txn.length:
+                        continue
+                    push_b(cycle, BResp(axi_id=axi_id, okay=True, tag=txn.tag))
+                    q.popleft()
+                    del write_txns[txn.tag]
+                    retire(id_write_pipe, axi_id, txn)
+                    break
+
+        return tick
+
+    def compile_hint(self):
+        """Conservative compiled hint: wake every cycle while any transaction
+        is outstanding, else sleep to the next refresh edge.
+
+        :meth:`next_event` walks the transaction tables to find the exact
+        next progress cycle; under the compiled scheduler that walk costs
+        more than the no-op ticks it saves (an outstanding transaction keeps
+        the controller hot within a few cycles anyway).  Early wakes are
+        no-op ticks by the hint contract, so decisions and cycle counts are
+        unchanged; the refresh-edge cap when idle is identical to
+        :meth:`next_event`'s.
+        """
+        t = self.timing.t_refi
+        read_txns = self._read_txns
+        write_txns = self._write_txns
+        sched = self._sched
+
+        def hint(cycle):
+            if read_txns or write_txns or sched:
+                return cycle
+            return cycle if (cycle and cycle % t == 0) else (cycle // t + 1) * t
+
+        return hint
 
     def next_event(self, cycle: int) -> float:
         """Earliest cycle this controller can make progress without new

@@ -31,7 +31,7 @@ from repro.faults.plan import FaultPlan
 from repro.runtime.server import WatchdogConfig
 from repro.sim import DeadlockError
 
-MODES: Tuple[str, ...] = ("naive", "fast_forward", "selective")
+MODES: Tuple[str, ...] = ("naive", "fast_forward", "selective", "compiled")
 SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6")
 
 #: Outcomes the robustness contract allows.

@@ -67,6 +67,9 @@ class MemcpyCore(AcceleratorCore):
     def next_event(self, cycle: int) -> float:
         return NEVER  # purely reactive: command, data and done all arrive on channels
 
+    #: Constant-NEVER hint — lets the compiled scheduler skip the hint call.
+    wake_only = True
+
 
 def memcpy_config(
     n_cores: int = 1,

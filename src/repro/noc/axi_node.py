@@ -188,6 +188,9 @@ class AxiBufferNode(Component):
         # all channels empty the node provably does nothing.
         return NEVER
 
+    #: Constant-NEVER hint — lets the compiled scheduler skip the hint call.
+    wake_only = True
+
     def channels(self):
         return []  # ports are registered by the builder
 
@@ -199,6 +202,135 @@ class AxiBufferNode(Component):
             chans.extend(up.channels())
         chans.extend(self.down.port.channels())
         return chans
+
+    # -- compiled tick -------------------------------------------------------
+    def compile_tick(self):
+        """Specialised tick: same phases and arbitration decisions as
+        :meth:`tick` with channel endpoints, round-robin order and ID
+        remapping constants resolved at compile time."""
+        ups = self.upstreams
+        n = len(ups)
+        up_ar = [u.ar for u in ups]
+        up_aw = [u.aw for u in ups]
+        up_w = [u.w for u in ups]
+        up_r = [u.r for u in ups]
+        up_b = [u.b for u in ups]
+        down = self.down
+        d = down.port
+        d_ar, d_aw, d_w, d_r, d_b = d.ar, d.aw, d.w, d.r, d.b
+        push_ar, push_aw, push_w = down.push_ar, down.push_aw, down.push_w
+        child_bits = self.child_id_bits
+        child_mask = (1 << child_bits) - 1
+        w_order = self._w_order
+        forwarded = self.forwarded
+        name = self.name
+
+        def tick(cycle, self=self):
+            # -- AR arbitration -------------------------------------------
+            if len(d_ar._items) + len(d_ar._staged) < d_ar.capacity:
+                rr = self._ar_rr
+                for k in range(n):
+                    idx = rr + k
+                    if idx >= n:
+                        idx -= n
+                    chan = up_ar[idx]
+                    if chan._pop_count < len(chan._items):
+                        req = chan.pop()
+                        push_ar(
+                            cycle,
+                            ARReq(
+                                (idx << child_bits) | req.axi_id,
+                                req.addr,
+                                req.length,
+                                req.tag,
+                            ),
+                        )
+                        idx += 1
+                        self._ar_rr = idx if idx < n else 0
+                        forwarded["ar"] += 1
+                        break
+            # -- AW arbitration -------------------------------------------
+            if len(d_aw._items) + len(d_aw._staged) < d_aw.capacity:
+                rr = self._aw_rr
+                for k in range(n):
+                    idx = rr + k
+                    if idx >= n:
+                        idx -= n
+                    chan = up_aw[idx]
+                    if chan._pop_count < len(chan._items):
+                        req = chan.pop()
+                        push_aw(
+                            cycle,
+                            AWReq(
+                                (idx << child_bits) | req.axi_id,
+                                req.addr,
+                                req.length,
+                                req.tag,
+                            ),
+                        )
+                        w_order.append((idx, req.length))
+                        idx += 1
+                        self._aw_rr = idx if idx < n else 0
+                        forwarded["aw"] += 1
+                        break
+            # -- W streaming (locked to AW order) -------------------------
+            if w_order and len(d_w._items) + len(d_w._staged) < d_w.capacity:
+                idx, remaining = w_order[0]
+                chan = up_w[idx]
+                if chan._pop_count < len(chan._items):
+                    beat = chan.pop()
+                    push_w(cycle, beat)
+                    remaining -= 1
+                    forwarded["w"] += 1
+                    if beat.last:
+                        if remaining != 0:
+                            raise SimulationError(
+                                f"{name}: W burst length mismatch"
+                            )
+                        w_order.popleft()
+                    else:
+                        w_order[0] = (idx, remaining)
+            # -- R routing ------------------------------------------------
+            if d_r._pop_count < len(d_r._items):
+                beat = d_r._items[d_r._pop_count]
+                idx = beat.axi_id >> child_bits
+                if idx >= n:
+                    raise SimulationError(
+                        f"{name}: R beat for unknown upstream {idx}"
+                    )
+                chan = up_r[idx]
+                if len(chan._items) + len(chan._staged) < chan.capacity:
+                    d_r.pop()
+                    data, err = beat.data, beat.err
+                    hook = self._fault
+                    dropped = False
+                    if hook is not None:
+                        verdict, data, err = hook.filter_r(cycle, beat)
+                        dropped = verdict == "drop"
+                    if not dropped:
+                        chan.push(
+                            RBeat(beat.axi_id & child_mask, data, beat.last,
+                                  beat.tag, err)
+                        )
+                        forwarded["r"] += 1
+            # -- B routing ------------------------------------------------
+            if d_b._pop_count < len(d_b._items):
+                resp = d_b._items[d_b._pop_count]
+                idx = resp.axi_id >> child_bits
+                if idx >= n:
+                    raise SimulationError(
+                        f"{name}: B resp for unknown upstream {idx}"
+                    )
+                chan = up_b[idx]
+                if len(chan._items) + len(chan._staged) < chan.capacity:
+                    d_b.pop()
+                    hook = self._fault
+                    if not (hook is not None and hook.drop_b(cycle, resp)):
+                        chan.push(BResp(resp.axi_id & child_mask, resp.okay,
+                                        resp.tag))
+                        forwarded["b"] += 1
+
+        return tick
 
 
 class AxiPipe(Component):
@@ -256,7 +388,76 @@ class AxiPipe(Component):
             return NEVER
         return max(cycle, min(heads))
 
+    def compile_hint(self):
+        """Same hint as :meth:`next_event` with the five delay deques bound
+        and no intermediate list built."""
+        queues = tuple(self._delay.values())
+
+        def hint(cycle):
+            best = NEVER
+            for q in queues:
+                if q:
+                    due = q[0][0]
+                    if due < best:
+                        best = due
+            if best < cycle:
+                return cycle
+            return best
+
+        return hint
+
     def wake_channels(self):
         # Ingests from both port faces and drains into both, so traffic (or
         # freed space) on either side is a wake condition.
         return list(self.up.channels()) + list(self.down.port.channels())
+
+    # -- compiled tick -------------------------------------------------------
+    def compile_tick(self):
+        """Specialised tick: the five ingest/drain pairs with delay deques and
+        channel endpoints bound, identical ordering to :meth:`tick`."""
+        up = self.up
+        down = self.down
+        d = down.port
+        latency = self.latency
+        delay = self._delay
+        q_ar, q_aw, q_w, q_r, q_b = (
+            delay["ar"], delay["aw"], delay["w"], delay["r"], delay["b"]
+        )
+        u_ar, u_aw, u_w, u_r, u_b = up.ar, up.aw, up.w, up.r, up.b
+        d_ar, d_aw, d_w, d_r, d_b = d.ar, d.aw, d.w, d.r, d.b
+        push_ar, push_aw, push_w = down.push_ar, down.push_aw, down.push_w
+
+        def tick(cycle):
+            due = cycle + latency
+            if u_ar._pop_count < len(u_ar._items):
+                q_ar.append((due, u_ar.pop()))
+            if u_aw._pop_count < len(u_aw._items):
+                q_aw.append((due, u_aw.pop()))
+            if u_w._pop_count < len(u_w._items):
+                q_w.append((due, u_w.pop()))
+            if d_r._pop_count < len(d_r._items):
+                q_r.append((due, d_r.pop()))
+            if d_b._pop_count < len(d_b._items):
+                q_b.append((due, d_b.pop()))
+            if q_ar and q_ar[0][0] <= cycle and (
+                len(d_ar._items) + len(d_ar._staged) < d_ar.capacity
+            ):
+                push_ar(cycle, q_ar.popleft()[1])
+            if q_aw and q_aw[0][0] <= cycle and (
+                len(d_aw._items) + len(d_aw._staged) < d_aw.capacity
+            ):
+                push_aw(cycle, q_aw.popleft()[1])
+            if q_w and q_w[0][0] <= cycle and (
+                len(d_w._items) + len(d_w._staged) < d_w.capacity
+            ):
+                push_w(cycle, q_w.popleft()[1])
+            if q_r and q_r[0][0] <= cycle and (
+                len(u_r._items) + len(u_r._staged) < u_r.capacity
+            ):
+                u_r.push(q_r.popleft()[1])
+            if q_b and q_b[0][0] <= cycle and (
+                len(u_b._items) + len(u_b._staged) < u_b.capacity
+            ):
+                u_b.push(q_b.popleft()[1])
+
+        return tick

@@ -1,5 +1,6 @@
 """Cycle-level simulation kernel used by every Beethoven substrate model."""
 
+from repro.sim.compiled import CompiledProgram
 from repro.sim.kernel import (
     NEVER,
     SCHEDULING_MODES,
@@ -23,6 +24,7 @@ from repro.sim.trace import (
 
 __all__ = [
     "ChannelQueue",
+    "CompiledProgram",
     "Component",
     "DeadlockError",
     "NEVER",

@@ -1,0 +1,452 @@
+"""Compiled tick-program backend for ``Simulator(scheduling="compiled")``.
+
+The selective scheduler (``repro.sim.kernel``) already runs an event-driven
+schedule, but it still pays generic Python dispatch for every woken component
+every cycle: a bound ``tick`` call through the class, a ``next_event`` call, a
+subscription-dict lookup per dirty channel, and method calls inside each tick
+for every ``can_push``/``can_pop`` probe.  The compiled backend removes that
+interpretation layer while executing the *same* schedule:
+
+* **Closure specialisation** — at program build each component is asked for
+  ``compile_tick()``: a specialised closure with its channel endpoints,
+  metric counters (:class:`repro.obs.registry.Counter` objects are bound
+  directly so updates are ``ctr.value += 1``) and timing constants captured
+  as locals, making the same decisions as the interpreted ``tick`` in the
+  same order.  Components without the hook run their plain bound ``tick``.
+
+* **Chain fusion** — runs of *consecutively registered* components with
+  *identical* wake subscription signatures (the same ``wake_channels()``
+  set) are fused into one scheduling slot: one heap entry, one wake
+  subscription, one dispatch.  Identical signatures mean the members are
+  always co-woken, so group dispatch adds zero spurious ticks by
+  construction (overlap-based fusion was measured a net loss: members woken
+  through unshared channels dragged the whole group awake).  Fused members
+  tick in registration-index order, and because the run is contiguous the
+  global tick order — and therefore the order channels first become dirty,
+  i.e. the channel-commit order — is exactly the naive order.  A spurious
+  member tick (e.g. from a ``request_wake`` aimed at one member) is safe by
+  the ``next_event`` no-op contract.
+
+* **Flat commit drain** — dirty channels commit through an inlined loop that
+  fuses ``sync_observations`` + ``commit`` into direct attribute arithmetic
+  and wakes subscriber slots from a pre-computed tuple stored on the channel
+  (``_csubs``), with no dict lookups.  Wake membership is the selective
+  scheduler's rule: *any* committed activity (push or pop) on a channel
+  wakes every component that listed it in ``wake_channels()``.  Waking only
+  on the "foreign" edge (pushes for inputs, pops for outputs) was tried and
+  is unsound — a component that consumes one of several pending items per
+  tick (an :class:`~repro.noc.axi_node.AxiBufferNode` forwarding one AR per
+  cycle) is re-woken by its *own* pop/push under selective, and that
+  self-re-wake is what lets it drain the backlog on schedule.
+
+Determinism contract: a compiled run produces the same cycle count, the same
+channel statistics (``total_pushed``/``total_popped``/``occupancy_accum``/
+``cycles_observed``) and the same stable metric dump as the naive, fast-
+forward and selective schedules.  Only volatile metrics (tick/skip
+accounting, trace event counts) and the wall clock differ.  The four-way
+differential harness in ``tests/test_fast_forward.py`` and the property
+tests in ``tests/test_compiled_kernel.py`` enforce this bit-for-bit.
+
+``Component.request_wake`` keeps its selective semantics: a wake for a slot
+later in the dispatch order that has not ticked this cycle is injected into
+the current cycle (naive would have ticked it after the requester); anything
+else — including a member of the currently executing fused slot that already
+ticked — is woken next cycle.  This is how non-channel coupling such as
+:class:`repro.memory.scratchpad.Memory`'s ``on_activity`` hook stays honoured.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.kernel import NEVER, Component
+
+#: Cap on members merged into one fused scheduling slot.  Fused members are
+#: always co-woken (identical wake signatures), so the cap is a safety bound
+#: on dispatch-group size, not a spurious-tick tradeoff.
+MAX_FUSED = 8
+
+
+def _hint_is_constant_never(comp: Component) -> bool:
+    """True when the component's hint may be elided entirely.
+
+    ``wake_only`` classes declare ``next_event`` constant at :data:`NEVER`;
+    an instance-level ``next_event`` (fault hang injection) re-enables
+    evaluation, since the patched hint is exactly how hangs reach the
+    scheduler.
+    """
+    return comp.wake_only and "next_event" not in vars(comp)
+
+
+class CompiledProgram:
+    """A tick program compiled from a :class:`~repro.sim.kernel.Simulator`.
+
+    Built lazily at ``run()`` and rebuilt whenever components or channels
+    were added since (``Simulator._subs_stale``), so post-elaboration
+    additions (the runtime server, testbench probes) are folded in exactly
+    like a selective subscription rebuild.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        components: List[Component] = list(sim._components)
+        self.components = components
+
+        # -- per-component wake membership ----------------------------------
+        # wake_chans[i]: channels whose commit (push *or* pop) wakes
+        # component i — the same membership rule the selective scheduler
+        # uses.  Waking only on the "foreign" edge (pushes for inputs, pops
+        # for outputs) is unsound: a component that consumes one of several
+        # pending items per tick (e.g. AxiBufferNode forwarding one AR) is
+        # re-woken in selective by its *own* push/pop on those channels, and
+        # that self-re-wake is what lets it drain the rest.
+        wake_chans: List[List[Any]] = []
+        fusable: List[bool] = []
+        for idx, comp in enumerate(components):
+            comp._sched_index = idx
+            comp._wake_hook = self._request_wake
+            chans = list(comp.wake_channels())
+            wake_chans.append(chans)
+            comp_vars = vars(comp)
+            hinted = (
+                type(comp).next_event is not Component.next_event or comp.wake_only
+            )
+            fusable.append(
+                hinted
+                and bool(chans)
+                and "tick" not in comp_vars
+                and "next_event" not in comp_vars
+            )
+
+        # -- fusion: partition into contiguous scheduling slots ------------
+        # Fuse a component into the preceding slot only when its wake
+        # subscription signature is *identical* to that slot's: the members
+        # are then always co-woken, so ticking the whole group whenever any
+        # member wakes adds zero spurious ticks.  (Overlap-based fusion was
+        # measured a net loss on the dense 32-core benchmark: members woken
+        # through non-shared channels dragged the rest of the group awake.)
+        signatures = [
+            frozenset(id(c) for c in wake_chans[idx])
+            for idx in range(len(components))
+        ]
+        index_groups: List[List[int]] = []
+        for idx in range(len(components)):
+            if (
+                index_groups
+                and fusable[idx]
+                and fusable[index_groups[-1][-1]]
+                and len(index_groups[-1]) < MAX_FUSED
+                and signatures[idx] == signatures[index_groups[-1][-1]]
+            ):
+                index_groups[-1].append(idx)
+            else:
+                index_groups.append([idx])
+        self.groups: List[List[Component]] = [
+            [components[i] for i in g] for g in index_groups
+        ]
+        for slot, group in enumerate(self.groups):
+            for comp in group:
+                comp._cslot = slot
+
+        # -- channel subscriptions ------------------------------------------
+        # One flat tuple of subscriber slots per channel, stored on the
+        # channel itself so the commit drain wakes without a dict lookup.
+        sub_map: dict = {}
+        chan_by_id: dict = {}
+        for idx, comp in enumerate(components):
+            slot = comp._cslot
+            for chan in wake_chans[idx]:
+                chan_by_id[id(chan)] = chan
+                sub_map.setdefault(id(chan), set()).add(slot)
+        for chan in sim._channels:
+            chan._csubs = ()
+        for cid, slots in sub_map.items():
+            chan_by_id[cid]._csubs = tuple(sorted(slots))
+
+        # -- per-slot tick and hint closures -------------------------------
+        tick_fns: List[Callable[[int], None]] = []
+        hint_fns: List[Optional[Callable[[int], Optional[float]]]] = []
+        labels: List[str] = []
+        specialized: List[str] = []
+        for group in self.groups:
+            member_fns = []
+            for comp in group:
+                fn = None
+                # An instance-patched tick (fault hang injection) must win
+                # over any class-level specialisation.
+                if "tick" not in vars(comp):
+                    hook = getattr(comp, "compile_tick", None)
+                    if hook is not None:
+                        fn = hook()
+                        if fn is not None:
+                            specialized.append(comp.name)
+                member_fns.append(fn if fn is not None else comp.tick)
+            if len(group) == 1:
+                comp = group[0]
+                tick_fns.append(member_fns[0])
+                hint_fns.append(self._hint_fn(comp))
+                labels.append(comp.name)
+            else:
+                tick_fns.append(self._fused_tick(group, member_fns))
+                hint_fns.append(self._fused_hint(group))
+                labels.append(f"(fused)/{group[0].name}(+{len(group) - 1})")
+        self._tick_fns = tick_fns
+        self._hint_fns = hint_fns
+        self._labels = labels
+        self.specialized = specialized  # component names using compile_tick
+
+        # -- scheduler state ------------------------------------------------
+        n_slots = len(self.groups)
+        self._last_tick = [-1] * n_slots
+        self._slot_ticks = [0] * n_slots
+        self._wake_heap: List[Tuple[int, int]] = []
+        self._woken: set = set()
+        self._ready: Optional[List[int]] = None
+        self._ready_pos = 0
+        self._cur_slot = -1
+        self._cmember = -1
+
+    @staticmethod
+    def _hint_fn(comp):
+        """The wake hint evaluated after each tick of ``comp``.
+
+        ``None`` elides the call entirely (constant-:data:`NEVER` classes);
+        otherwise a ``compile_hint()`` closure is preferred when the class
+        offers one.  A compiled hint may be *conservative* — waking no later
+        than ``next_event`` would, possibly earlier — because early wakes are
+        no-op ticks under the hint contract; it must still return
+        :data:`NEVER` when the component is genuinely idle so quiescent jumps
+        stay reachable.  An instance-level ``next_event`` (fault hang
+        injection) disables both elision and specialisation.
+        """
+        if _hint_is_constant_never(comp):
+            return None
+        if "next_event" not in vars(comp):
+            hook = getattr(comp, "compile_hint", None)
+            if hook is not None:
+                fn = hook()
+                if fn is not None:
+                    return fn
+        return comp.next_event
+
+    # -- fused slot helpers -------------------------------------------------
+    def _fused_tick(self, group, fns):
+        pairs = tuple(zip([m._sched_index for m in group], fns))
+
+        def tick(cycle, self=self, pairs=pairs):
+            for idx, fn in pairs:
+                self._cmember = idx
+                fn(cycle)
+
+        return tick
+
+    def _fused_hint(self, group):
+        hint_fns = [
+            fn for fn in (self._hint_fn(m) for m in group) if fn is not None
+        ]
+        if not hint_fns:
+            return None
+        if len(hint_fns) == 1:
+            return hint_fns[0]
+
+        def hint(cycle, hint_fns=hint_fns):
+            best = NEVER
+            for fn in hint_fns:
+                h = fn(cycle)
+                if h is None:
+                    return None
+                if h < best:
+                    best = h
+            return best
+
+        return hint
+
+    # -- wake plumbing -------------------------------------------------------
+    def _request_wake(self, comp: Component) -> None:
+        """Compiled analogue of ``Simulator._request_wake`` (same semantics)."""
+        slot = comp._cslot
+        if slot < 0:
+            return
+        ready = self._ready
+        if ready is None:
+            self._woken.add(slot)
+            return
+        cur = self._cur_slot
+        if slot > cur and self._last_tick[slot] != self.sim.cycle:
+            # Inject into the still-unvisited tail of this cycle's dispatch
+            # order (kept sorted; the main loop walks it by index).
+            insort(ready, slot, self._ready_pos)
+        elif (
+            slot == cur
+            and len(self.groups[slot]) > 1
+            and comp._sched_index > self._cmember
+        ):
+            pass  # later member of the currently executing fused slot: it
+            # ticks this cycle anyway, in naive order, after the requester
+        else:
+            self._woken.add(slot)
+
+    def flush_ticks(self) -> None:
+        """Fold per-slot tick counts into ``Component._ticks_executed``.
+
+        The hot loop counts ticks per slot (a list-index increment); the
+        per-component counters the registry and wake reports read are only
+        reconciled here, at run exit.
+        """
+        slot_ticks = self._slot_ticks
+        for slot, group in enumerate(self.groups):
+            count = slot_ticks[slot]
+            if count:
+                slot_ticks[slot] = 0
+                for comp in group:
+                    comp._ticks_executed += count
+
+    def invalidate(self) -> None:
+        """Called before this program is replaced by a rebuild."""
+        self.flush_ticks()
+
+    def wake_dump(self):
+        """(wake_heap, woken) with slot labels, for deadlock dumps."""
+        heap = sorted((cyc, self._labels[slot]) for cyc, slot in self._wake_heap)
+        woken = sorted(self._labels[slot] for slot in self._woken)
+        return heap, woken
+
+    def prepare(self) -> None:
+        """Wake everything and adopt pre-staged channels at ``run()`` entry.
+
+        Mirrors ``Simulator._prepare_selective``: anything may have mutated
+        between runs (host command submission, direct ``step()`` use, test
+        pushes into registered ports), so the first cycle ticks every slot
+        and channels carrying uncommitted traffic join the dirty list.
+        """
+        sim = self.sim
+        self._woken.update(range(len(self.groups)))
+        dirty = sim._dirty_channels
+        for chan in sim._channels:
+            if not chan._dirty and (chan._staged or chan._pop_count):
+                chan._dirty = True
+                dirty.append(chan)
+
+    # -- the main loop -------------------------------------------------------
+    def run(
+        self, deadline: int, max_cycles: int, until: Optional[Callable[[], bool]]
+    ) -> int:
+        sim = self.sim
+        self.prepare()
+        tick_fns = self._tick_fns
+        hint_fns = self._hint_fns
+        last_tick = self._last_tick
+        slot_ticks = self._slot_ticks
+        wake_heap = self._wake_heap
+        woken = self._woken
+        woken_add = woken.add
+        woken_update = woken.update
+        dirty = sim._dirty_channels
+        tracer = sim.tracer
+        profile = sim.profile_enabled
+        tick_profile = sim.tick_profile
+        labels = self._labels
+        clock = time.perf_counter_ns
+        pred = bool(until()) if until is not None else False
+        cycle = sim.cycle
+        try:
+            while cycle < deadline:
+                if pred:
+                    break
+                while wake_heap and wake_heap[0][0] <= cycle:
+                    woken_add(heappop(wake_heap)[1])
+                if not woken:
+                    # Nothing can act before the earliest scheduled wake:
+                    # model state (and the predicate) is provably frozen.
+                    target = wake_heap[0][0] if wake_heap else deadline
+                    if target > deadline:
+                        target = deadline
+                    skipped = target - cycle
+                    sim.cycles_skipped += skipped
+                    sim.skip_events += 1
+                    if tracer is not None:
+                        tracer.record(cycle, "sim", "fast_forward", skipped)
+                    sim.cycle = cycle = target
+                    continue
+                order = sorted(woken)
+                woken.clear()
+                self._ready = order
+                cy1 = cycle + 1
+                i = 0
+                # Walk the sorted dispatch order by index; same-cycle wakes
+                # (request_wake) insort into the unvisited tail, so the loop
+                # bound is re-read each iteration.
+                while i < len(order):
+                    slot = order[i]
+                    i += 1
+                    self._ready_pos = i
+                    if last_tick[slot] == cycle:
+                        continue  # duplicate wake this cycle
+                    last_tick[slot] = cycle
+                    self._cur_slot = slot
+                    if profile:
+                        t0 = clock()
+                        tick_fns[slot](cycle)
+                        dt = clock() - t0
+                        entry = tick_profile.get(labels[slot])
+                        if entry is None:
+                            tick_profile[labels[slot]] = [dt, 1]
+                        else:
+                            entry[0] += dt
+                            entry[1] += 1
+                    else:
+                        tick_fns[slot](cycle)
+                    slot_ticks[slot] += 1
+                    hint_fn = hint_fns[slot]
+                    if hint_fn is not None:
+                        hint = hint_fn(cy1)
+                        if hint is None or hint <= cy1:
+                            woken_add(slot)
+                        elif hint != NEVER:
+                            heappush(wake_heap, (int(hint), slot))
+                self._ready = None
+                self._cur_slot = -1
+                if dirty:
+                    if profile:
+                        t0 = clock()
+                    for chan in dirty:
+                        # sync_observations + commit, fused and inlined.
+                        items = chan._items
+                        lag = cycle - chan._anchor - chan.cycles_observed
+                        if lag > 0:
+                            chan.occupancy_accum += len(items) * (lag + 1)
+                            chan.cycles_observed += lag + 1
+                        else:
+                            chan.occupancy_accum += len(items)
+                            chan.cycles_observed += 1
+                        if chan._pop_count:
+                            del items[: chan._pop_count]
+                            chan._pop_count = 0
+                        staged = chan._staged
+                        if staged:
+                            items += staged
+                            staged.clear()
+                        # A dirty channel had activity by definition; wake
+                        # every subscriber (selective's membership rule).
+                        woken_update(chan._csubs)
+                        chan._dirty = False
+                    dirty.clear()
+                    if profile:
+                        dt = clock() - t0
+                        entry = tick_profile.get("(kernel)/commit")
+                        if entry is None:
+                            tick_profile["(kernel)/commit"] = [dt, 1]
+                        else:
+                            entry[0] += dt
+                            entry[1] += 1
+                sim.cycle = cycle = cycle + 1
+                pred = bool(until()) if until is not None else False
+        finally:
+            self.flush_ticks()
+        sim._sync_channel_stats()
+        if cycle >= deadline and until is not None and not pred:
+            sim._raise_deadlock(max_cycles)
+        return cycle

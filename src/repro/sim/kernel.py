@@ -10,7 +10,7 @@ ticked, which is the property that lets us compose large systems without
 worrying about evaluation order (the same property latency-insensitive
 ready/valid design gives real hardware).
 
-Three scheduling modes are supported, all cycle- and statistic-identical:
+Four scheduling modes are supported, all cycle- and statistic-identical:
 
 * ``"naive"`` — tick every component and commit every channel each cycle.
 * ``"fast_forward"`` — naive stepping, plus whole-design jumps over windows
@@ -22,6 +22,13 @@ Three scheduling modes are supported, all cycle- and statistic-identical:
   :meth:`Component.request_wake`.  Channel commits are sparse (only dirty
   channels commit) with lazy occupancy crediting, so per-channel statistics
   stay bit-identical to naive stepping.
+* ``"compiled"`` — the selective schedule driven by a compiled tick program
+  (:mod:`repro.sim.compiled`): at the first ``run()`` the component graph is
+  specialised into closures with channel endpoints pre-resolved, contiguous
+  always-co-woken chains are fused into single scheduling slots, and channel
+  commits drain through flat per-channel subscriber arrays.  Identical
+  cycles, channel statistics and stable metrics; only the wall clock and the
+  volatile tick accounting differ.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ T = TypeVar("T")
 NEVER = float("inf")
 
 #: Valid ``Simulator(scheduling=...)`` values.
-SCHEDULING_MODES = ("naive", "fast_forward", "selective")
+SCHEDULING_MODES = ("naive", "fast_forward", "selective", "compiled")
 
 
 class SimulationError(RuntimeError):
@@ -68,13 +75,24 @@ class ChannelQueue(Generic[T]):
     does not accept a push in the same cycle one of its items is popped.
     """
 
-    # Selective-scheduling hooks, installed by Simulator.register_channel:
-    # ``_sink`` is the simulator's dirty list (None outside selective mode),
-    # ``_dirty`` marks membership in it, and ``_anchor`` is the registration
-    # offset that lets sparse commits credit elided observations lazily.
-    _sink: Optional[List["ChannelQueue[Any]"]] = None
-    _dirty = False
-    _anchor = 0
+    # Slotted: channels are the hottest objects in the kernel (every guard in
+    # every tick probes one), and fixed-offset attribute access measurably
+    # beats dict lookup in both the selective and compiled hot loops.
+    __slots__ = (
+        "capacity",
+        "name",
+        "_items",
+        "_staged",
+        "_pop_count",
+        "total_pushed",
+        "total_popped",
+        "occupancy_accum",
+        "cycles_observed",
+        "_sink",
+        "_dirty",
+        "_anchor",
+        "_csubs",
+    )
 
     def __init__(self, capacity: int = 2, name: str = "chan") -> None:
         if capacity < 1:
@@ -89,6 +107,17 @@ class ChannelQueue(Generic[T]):
         self.total_popped = 0
         self.occupancy_accum = 0
         self.cycles_observed = 0
+        # Selective-scheduling hooks, installed by Simulator.register_channel:
+        # ``_sink`` is the simulator's dirty list (None outside selective and
+        # compiled modes), ``_dirty`` marks membership in it, and ``_anchor``
+        # is the registration offset that lets sparse commits credit elided
+        # observations lazily.
+        self._sink: Optional[List["ChannelQueue[Any]"]] = None
+        self._dirty = False
+        self._anchor = 0
+        # Compiled-scheduling subscriber array, installed by CompiledProgram:
+        # the scheduling slots woken when this channel commits activity.
+        self._csubs: Tuple[int, ...] = ()
 
     # -- producer side ----------------------------------------------------
     def can_push(self, n: int = 1) -> bool:
@@ -200,6 +229,16 @@ class Component:
     _wake_hook: Optional[Callable[["Component"], None]] = None
     _last_tick_cycle = -1
     _ticks_executed = 0
+    # Compiled-scheduling slot assignment, installed by CompiledProgram.
+    _cslot = -1
+
+    #: Declares ``next_event`` constant at :data:`NEVER`: the component only
+    #: ever progresses on channel traffic (pure dataflow elements such as NoC
+    #: buffer nodes).  The compiled backend then elides the post-tick hint
+    #: call entirely.  Honoured only while ``next_event`` is not shadowed on
+    #: the instance (fault injectors patch instance ``next_event`` to model
+    #: hangs, which re-enables hint evaluation).
+    wake_only = False
 
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
@@ -245,6 +284,16 @@ class Component:
         router pushing into adapters, cores driving Reader/Writer queues)
         must override this with the complete set; a superset is always safe
         (spurious wakes cost time, never correctness).
+
+        The compiled backend uses the same membership rule (any committed
+        push or pop wakes every subscriber) — waking only on the "foreign"
+        edge is unsound, because a component that consumes one of several
+        pending items per tick relies on its *own* activity re-waking it to
+        drain the rest.  Components may also define ``compile_tick()``
+        returning a decision-identical specialised closure ``fn(cycle)`` (or
+        ``None`` to decline); the compiled backend prefers it over the plain
+        bound ``tick`` unless the instance's ``tick`` has been patched
+        (fault hang injection).
         """
         return self.channels()
 
@@ -292,7 +341,7 @@ class Component:
 class Simulator:
     """Owns the clock; ticks components and commits channels each cycle.
 
-    ``scheduling`` selects one of three cycle-identical schedules:
+    ``scheduling`` selects one of four cycle-identical schedules:
 
     * ``"naive"`` ticks everything every cycle;
     * ``"fast_forward"`` (the legacy ``fast_forward=True``) adds whole-design
@@ -301,7 +350,11 @@ class Simulator:
       cycle only the components woken by dirty channels, matured
       ``next_event`` hints, or explicit :meth:`Component.request_wake` calls
       are ticked, and only dirty channels commit (with lazy occupancy
-      crediting so every statistic matches naive stepping exactly).
+      crediting so every statistic matches naive stepping exactly);
+    * ``"compiled"`` executes the same schedule through a tick program
+      compiled at the first ``run()`` (see :mod:`repro.sim.compiled`):
+      specialised per-component closures, fused contiguous co-woken chains,
+      push/pop-split channel subscriptions, and an inlined commit drain.
 
     A component returning ``None`` from :meth:`Component.next_event` (the
     default) is ticked every cycle under every schedule, so unhinted user
@@ -337,8 +390,13 @@ class Simulator:
         # Skip accounting, surfaced by :func:`repro.sim.trace.skip_summary`.
         self.cycles_skipped = 0
         self.skip_events = 0
-        # Selective-scheduler state.
-        self._selective = scheduling == "selective"
+        # Selective-scheduler state.  The compiled backend reuses the dirty
+        # list, lazy anchors and per-component tick accounting, so every
+        # ``_selective`` guard below covers both modes; only run() dispatch
+        # distinguishes them.
+        self._selective = scheduling in ("selective", "compiled")
+        self._compiled = scheduling == "compiled"
+        self._program = None  # CompiledProgram, built lazily at run()
         self._dirty_channels: List[ChannelQueue[Any]] = []
         self._subs: Dict[int, List[int]] = {}
         self._subs_stale = True
@@ -521,6 +579,8 @@ class Simulator:
         charged twice for the fast-forward guard's re-check).
         """
         deadline = self.cycle + max_cycles
+        if self._compiled:
+            return self._run_compiled(deadline, max_cycles, until)
         if self._selective:
             return self._run_selective(deadline, max_cycles, until)
         pred = bool(until()) if until is not None else False
@@ -684,6 +744,28 @@ class Simulator:
             self._raise_deadlock(max_cycles)
         return self.cycle
 
+    # -- compiled scheduling ---------------------------------------------------
+    def _run_compiled(
+        self, deadline: int, max_cycles: int, until: Optional[Callable[[], bool]]
+    ) -> int:
+        """Run through the compiled tick program, (re)building it if stale.
+
+        The program is compiled lazily at the first ``run()`` and recompiled
+        whenever a component or channel was added since (``_subs_stale``), so
+        late additions such as the runtime server joining after elaboration
+        are picked up exactly like the selective scheduler's subscription
+        rebuild.
+        """
+        from repro.sim.compiled import CompiledProgram  # lazy: avoid cycle
+
+        program = self._program
+        if program is None or self._subs_stale:
+            if program is not None:
+                program.invalidate()
+            program = self._program = CompiledProgram(self)
+            self._subs_stale = False
+        return program.run(deadline, max_cycles, until)
+
     def _sync_channel_stats(self) -> None:
         cycle = self.cycle
         for chan in self._channels:
@@ -725,7 +807,11 @@ class Simulator:
             "channels": channels,
             "components": components,
         }
-        if self._selective:
+        if self._compiled:
+            program = self._program
+            if program is not None:
+                dump["wake_heap"], dump["woken"] = program.wake_dump()
+        elif self._selective:
             dump["wake_heap"] = sorted(
                 (cyc, self._components[idx].name) for cyc, idx in self._wake_heap
             )

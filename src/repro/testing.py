@@ -49,9 +49,10 @@ def build_memory_testbench(
 ) -> MemoryTestbench:
     """Wire ``master_ports`` through a tree network to a DRAM controller.
 
-    ``scheduling`` picks the kernel schedule ("naive", "fast_forward" or
-    "selective"); by default the testbench runs the selective per-component
-    scheduler (cycle-exact), or naive stepping when ``fast_forward=False``.
+    ``scheduling`` picks the kernel schedule ("naive", "fast_forward",
+    "selective" or "compiled"); by default the testbench runs the selective
+    per-component scheduler (cycle-exact), or naive stepping when
+    ``fast_forward=False``.
     Driving the master ports directly between ``run`` calls is safe under
     every schedule: each run entry re-wakes all components and adopts any
     staged pushes/pops.  ``profile`` enables the per-component wall-clock

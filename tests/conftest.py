@@ -1,0 +1,6 @@
+"""Make sibling test modules importable (shared pipeline fixtures)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,10 +1,11 @@
 """Differential cycle-exactness harness for the event-skipping kernel.
 
-Every scenario here is run under all three schedules — ``naive`` stepping,
-whole-design ``fast_forward`` and per-component ``selective`` — and the runs
-must be *indistinguishable* in everything except wall clock: final cycle
-counts, per-channel statistics, AXI transaction timelines, response orderings
-and latencies, and the data the accelerator produced.  The skipping runs must
+Every scenario here is run under all four schedules — ``naive`` stepping,
+whole-design ``fast_forward``, per-component ``selective``, and the
+closure-specialised ``compiled`` tick program — and the runs must be
+*indistinguishable* in everything except wall clock: final cycle counts,
+per-channel statistics, AXI transaction timelines, response orderings and
+latencies, and the data the accelerator produced.  The skipping runs must
 additionally prove that they actually skipped/elided work (otherwise the
 harness is vacuous).
 """
@@ -29,8 +30,10 @@ from repro.platforms import AWSF1Platform, SimulationPlatform
 from repro.runtime import FpgaHandle
 from repro.sim import NEVER, skip_summary, wake_summary
 
-#: The two event-skipping schedules, each compared against naive.
-SKIPPING_MODES = ("fast_forward", "selective")
+#: The event-skipping schedules, each compared against naive.  ``compiled``
+#: shares selective's wake decisions but dispatches through pre-specialised
+#: closures, so it must clear the exact same differential bar.
+SKIPPING_MODES = ("fast_forward", "selective", "compiled")
 
 
 def _channel_stats(design):
@@ -282,6 +285,14 @@ def test_runtime_server_differential_selective():
     # a busy core never pins idle components awake, so across the design the
     # elided ticks exceed a full component-lifetime of work.
     assert sel["elided"] > sel["cycle"]
+
+
+def test_runtime_server_differential_compiled():
+    naive, comp = _run_server("naive"), _run_server("compiled")
+    _assert_equivalent(naive, comp)
+    # Compiled inherits selective's wake decisions, so the same elision bar
+    # applies: sleeping components never appear in the dispatch order.
+    assert comp["elided"] > comp["cycle"]
 
 
 # ---------------------------------------------------------------------------
