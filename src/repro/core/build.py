@@ -116,6 +116,16 @@ class BeethovenBuild:
     def profile_report(self, top: int = 0) -> str:
         return self.design.profile_report(top=top)
 
+    def attribution_report(self):
+        """Cycle-attribution rollup (see :mod:`repro.obs.attribution`)."""
+        return self.design.attribution_report()
+
+    def attribution_report_text(self) -> str:
+        return self.design.attribution_report_text()
+
+    def export_attribution(self, path: str):
+        return self.design.export_attribution(path)
+
     # ---------------------------------------------------------------- reports
     @property
     def resource_report(self):

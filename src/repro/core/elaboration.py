@@ -574,16 +574,53 @@ class ElaboratedDesign:
         return export_metrics(path, self.sim.registry, prefix)
 
     def chrome_trace(self):
+        from repro.obs.attribution import counter_track_events
         from repro.obs.export import chrome_trace
 
-        return chrome_trace(self.tracer, [self.monitor])
+        return chrome_trace(
+            self.tracer,
+            [self.monitor],
+            extra_events=counter_track_events([self.monitor]),
+        )
 
     def export_chrome_trace(self, path: str):
+        from repro.obs.attribution import counter_track_events
         from repro.obs.export import export_chrome_trace
 
-        return export_chrome_trace(path, self.tracer, [self.monitor])
+        return export_chrome_trace(
+            path,
+            self.tracer,
+            [self.monitor],
+            extra_events=counter_track_events([self.monitor]),
+        )
 
     def profile_report(self, top: int = 0) -> str:
         from repro.obs.profiler import render_profile_report
 
         return render_profile_report(self.sim, top=top)
+
+    def attribution_report(self):
+        """Cycle-attribution rollup (see :mod:`repro.obs.attribution`)."""
+        from repro.obs.attribution import attribution_report
+
+        return attribution_report(
+            self.tracer,
+            [self.monitor],
+            registry=self.sim.registry,
+            cycles=self.sim.cycle,
+            timing=self.platform.dram_timing,
+        )
+
+    def attribution_report_text(self) -> str:
+        from repro.obs.attribution import render_attribution_report
+
+        return render_attribution_report(self.attribution_report())
+
+    def export_attribution(self, path: str):
+        """Write the attribution rollup as JSON; returns the report dict."""
+        import json
+
+        report = self.attribution_report()
+        with open(path, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True, default=float)
+        return report

@@ -133,6 +133,11 @@ class MemoryController(Component):
             "row_hits": Counter(),
             "row_misses": Counter(),
             "refreshes": Counter(),
+            # Contention accounting (repro.obs.attribution): activations that
+            # had to close an already-open row, and the total cycles column
+            # commands sat in the scheduler window before winning the bus.
+            "row_conflicts": Counter(),
+            "queue_wait_cycles": Counter(),
         }
 
     @property
@@ -147,6 +152,11 @@ class MemoryController(Component):
         scope.bind(
             "activations", lambda: sum(b.activations for b in self.banks)
         )
+        # Per-bank row-buffer outcomes, for the contention accounter.
+        for i, bank in enumerate(self.banks):
+            scope.bind(f"bank{i}/activations", lambda b=bank: b.activations)
+            scope.bind(f"bank{i}/row_hits", lambda b=bank: b.row_hits)
+            scope.bind(f"bank{i}/row_misses", lambda b=bank: b.row_misses)
 
     # ------------------------------------------------------------------ helpers
     def _outstanding(self) -> int:
@@ -295,6 +305,8 @@ class MemoryController(Component):
             seen_banks.add(req.bank)
             bank = self.banks[req.bank]
             if bank.open_row != req.row and bank.can_prep(cycle):
+                if bank.open_row is not None:
+                    self.stats["row_conflicts"] += 1
                 bank.prep(req.row, cycle)
                 bank.record_access(False)
                 self.stats["row_misses"] += 1
@@ -323,6 +335,7 @@ class MemoryController(Component):
         self._dir_streak += 1
         self._bus_free_at = cycle + 1 + (self.timing.t_bus_turn if turnaround else 0)
         self.stats["bus_cycles"] += 1
+        self.stats["queue_wait_cycles"] += cycle - req.enqueued_cycle
         del self._sched[idx]
         self.banks[req.bank].record_access(True)
         self.stats["row_hits"] += 1
@@ -444,6 +457,8 @@ class MemoryController(Component):
         s_hits = stats["row_hits"]
         s_miss = stats["row_misses"]
         s_refresh = stats["refreshes"]
+        s_conflict = stats["row_conflicts"]
+        s_qwait = stats["queue_wait_cycles"]
 
         def tick(cycle, self=self):
             # -- refresh --------------------------------------------------
@@ -570,6 +585,8 @@ class MemoryController(Component):
                             else:
                                 can_prep = False  # t_ras not yet satisfied
                             if can_prep:
+                                if prev_row is not None:
+                                    s_conflict.value += 1
                                 bank.open_row = row
                                 bank.ready_at = cycle + cost
                                 bank.activated_at = cycle + cost - t_rcd
@@ -608,6 +625,7 @@ class MemoryController(Component):
                             self._dir_streak += 1
                             self._bus_free_at = cycle + 1
                         s_bus.value += 1
+                        s_qwait.value += cycle - req.enqueued_cycle
                         del sched[pick]
                         bank = banks[req.bank]
                         bank.row_hits += 1

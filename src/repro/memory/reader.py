@@ -97,6 +97,21 @@ class Reader(Component):
         self.bytes_delivered = 0
         self.requests_accepted = 0
         self.bursts_issued = 0
+        # Contention accounting (repro.obs.attribution): per-burst AR stall
+        # attribution, computed retroactively at issue time from stamps that
+        # are only updated by genuinely mutating ticks (so the counters stay
+        # bit-identical under every scheduling mode, including fast-forward
+        # jumps over quiescent windows).  ``_head_since`` is the cycle the
+        # current head-of-pending burst became eligible for issue;
+        # ``_inflight_ok_since``/``_buffer_ok_since`` are the cycles the
+        # in-flight window and prefetch buffer last stopped being binding.
+        self._head_since = 0
+        self._inflight_ok_since = 0
+        self._buffer_ok_since = 0
+        self.stall_gap_cycles = 0
+        self.stall_inflight_cycles = 0
+        self.stall_buffer_cycles = 0
+        self.stall_backpressure_cycles = 0
         # Observability: set by the elaborator so AXI bursts are attributed
         # to the host command currently executing on this Reader's core.
         self.spans = None
@@ -113,15 +128,21 @@ class Reader(Component):
         scope.bind("bursts_issued", lambda: self.bursts_issued)
         scope.bind("in_flight", lambda: self._in_flight)
         scope.bind("reserved_bytes", lambda: self._reserved_bytes)
+        scope.bind("stall_gap_cycles", lambda: self.stall_gap_cycles)
+        scope.bind("stall_inflight_cycles", lambda: self.stall_inflight_cycles)
+        scope.bind("stall_buffer_cycles", lambda: self.stall_buffer_cycles)
+        scope.bind(
+            "stall_backpressure_cycles", lambda: self.stall_backpressure_cycles
+        )
 
     # -- behaviour ------------------------------------------------------------
     def tick(self, cycle: int) -> None:
-        self._accept_request()
+        self._accept_request(cycle)
         self._issue_ar(cycle)
         self._collect_beats(cycle)
-        self._deliver()
+        self._deliver(cycle)
 
-    def _accept_request(self) -> None:
+    def _accept_request(self, cycle: int) -> None:
         if not self.request.can_pop():
             return
         # Only buffer one logical request's segments at a time beyond what is
@@ -131,12 +152,41 @@ class Reader(Component):
         req = self.request.pop()
         self.requests_accepted += 1
         beat = self.port.params.beat_bytes
+        if not self._pending:
+            # Issue runs after accept in the same tick, so the new head is
+            # eligible for issue attention from this very cycle.
+            self._head_since = cycle
         for addr, beats, payload in split_into_bursts(
             req.addr, req.len_bytes, beat, self.tuning.max_txn_beats
         ):
             sub = _SubTxn(addr, beats, payload)
             self._pending.append(sub)
             self._order.append(sub)
+
+    def _attribute_stall(self, cycle: int) -> None:
+        """Book the cycles the issued head burst waited, split by the first
+        binding reason in guard order: issue-gap FSM, in-flight window,
+        prefetch-buffer space, then downstream AR backpressure."""
+        t = self._head_since
+        if t >= cycle:
+            return
+        gap_until = self._next_ar_cycle  # pre-issue value: the old gap deadline
+        if gap_until > t:
+            adv = gap_until if gap_until < cycle else cycle
+            self.stall_gap_cycles += adv - t
+            t = adv
+        ok = self._inflight_ok_since
+        if ok > t:
+            adv = ok if ok < cycle else cycle
+            self.stall_inflight_cycles += adv - t
+            t = adv
+        ok = self._buffer_ok_since
+        if ok > t:
+            adv = ok if ok < cycle else cycle
+            self.stall_buffer_cycles += adv - t
+            t = adv
+        if cycle > t:
+            self.stall_backpressure_cycles += cycle - t
 
     def _issue_ar(self, cycle: int) -> None:
         if not self._pending or cycle < self._next_ar_cycle:
@@ -149,6 +199,7 @@ class Reader(Component):
             return
         if not self.port.ar.can_push():
             return
+        self._attribute_stall(cycle)
         sub.axi_id = self._next_id
         self._next_id = (self._next_id + 1) % max(self.tuning.n_axi_ids, 1)
         req = ARReq(axi_id=sub.axi_id, addr=sub.addr, length=sub.beats)
@@ -160,6 +211,8 @@ class Reader(Component):
         self.bursts_issued += 1
         self._reserved_bytes += burst_bytes
         self._next_ar_cycle = cycle + self.tuning.ar_issue_gap
+        # The next pending burst (if any) cannot issue before the next tick.
+        self._head_since = cycle + 1
         if self.spans is not None:
             self._span_by_tag[req.tag] = self.spans.axi_begin(
                 cycle, self.span_key, self.name, "read", sub.addr, sub.beats
@@ -179,12 +232,15 @@ class Reader(Component):
         sub.received.extend(beat.data)
         if beat.last:
             self._in_flight -= 1
+            if self._in_flight == self.tuning.max_in_flight - 1:
+                # Freed slot is usable from the next tick (issue ran already).
+                self._inflight_ok_since = cycle + 1
             del self._by_tag[beat.tag]
             span_id = self._span_by_tag.pop(beat.tag, 0)
             if span_id and self.spans is not None:
                 self.spans.axi_end(span_id, cycle)
 
-    def _deliver(self) -> None:
+    def _deliver(self, cycle: int) -> None:
         if not self._order or not self.data.can_push():
             return
         sub = self._order[0]
@@ -203,6 +259,8 @@ class Reader(Component):
         if sub.delivered >= sub.payload_bytes:
             self._order.popleft()
             self._reserved_bytes -= sub.beats * self.port.params.beat_bytes
+            # Freed buffer space is usable from the next tick.
+            self._buffer_ok_since = cycle + 1
 
     def _deliverable(self) -> bool:
         """Would :meth:`_deliver` push a chunk if ``data`` had space?"""
@@ -229,7 +287,7 @@ class Reader(Component):
 
         def tick(cycle, self=self):
             if request._pop_count < len(request._items):
-                accept()
+                accept(cycle)
             if (
                 self._pending
                 and cycle >= self._next_ar_cycle
@@ -241,7 +299,7 @@ class Reader(Component):
             if self._order and (
                 len(data._items) + len(data._staged) < data.capacity
             ):
-                deliver()
+                deliver(cycle)
 
         return tick
 

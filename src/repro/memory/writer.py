@@ -103,6 +103,16 @@ class Writer(Component):
         self.bytes_accepted = 0
         self.requests_accepted = 0
         self.bursts_issued = 0
+        # Contention accounting (repro.obs.attribution): per-burst AW stall
+        # attribution, computed retroactively at issue time from stamps that
+        # are only updated by genuinely mutating ticks — see Reader for the
+        # determinism argument.  There is no buffer gate on the AW path, so
+        # the reasons are gap / in-flight window / downstream backpressure.
+        self._head_since = 0
+        self._inflight_ok_since = 0
+        self.stall_gap_cycles = 0
+        self.stall_inflight_cycles = 0
+        self.stall_backpressure_cycles = 0
         # Observability: set by the elaborator so AXI bursts are attributed
         # to the host command currently executing on this Writer's core.
         self.spans = None
@@ -118,11 +128,16 @@ class Writer(Component):
         scope.bind("bursts_issued", lambda: self.bursts_issued)
         scope.bind("in_flight", lambda: self._in_flight)
         scope.bind("buffered_bytes", lambda: self._buffered_bytes)
+        scope.bind("stall_gap_cycles", lambda: self.stall_gap_cycles)
+        scope.bind("stall_inflight_cycles", lambda: self.stall_inflight_cycles)
+        scope.bind(
+            "stall_backpressure_cycles", lambda: self.stall_backpressure_cycles
+        )
 
     # -- behaviour ----------------------------------------------------------
     def tick(self, cycle: int) -> None:
         self._accept_request()
-        self._accept_data()
+        self._accept_data(cycle)
         self._issue_aw(cycle)
         self._stream_w()
         self._collect_b(cycle)
@@ -141,7 +156,7 @@ class Writer(Component):
             active.subs.append(_WrSubTxn(addr, beats, payload))
         self._requests.append(active)
 
-    def _accept_data(self) -> None:
+    def _accept_data(self, cycle: int) -> None:
         """Take one core chunk per cycle into the staging buffer, then carve
         fully-buffered bursts off the front (store-and-forward per burst)."""
         if not self._requests:
@@ -166,9 +181,33 @@ class Writer(Component):
                 payload = bytes(self._fill_buffer[: sub.payload_bytes])
                 del self._fill_buffer[: sub.payload_bytes]
                 sub.queued = True
+                if not self._issue_q:
+                    # Issue runs after burst release in the same tick, so the
+                    # new head is eligible for issue from this very cycle.
+                    self._head_since = cycle
                 self._issue_q.append(sub)
                 self._queued_payload[id(sub)] = payload
             break  # only the front un-queued burst can complete
+
+    def _attribute_stall(self, cycle: int) -> None:
+        """Book the cycles the issued head burst waited, split by the first
+        binding reason in guard order: issue-gap FSM, in-flight window, then
+        downstream AW backpressure."""
+        t = self._head_since
+        if t >= cycle:
+            return
+        gap_until = self._next_aw_cycle  # pre-issue value: the old gap deadline
+        if gap_until > t:
+            adv = gap_until if gap_until < cycle else cycle
+            self.stall_gap_cycles += adv - t
+            t = adv
+        ok = self._inflight_ok_since
+        if ok > t:
+            adv = ok if ok < cycle else cycle
+            self.stall_inflight_cycles += adv - t
+            t = adv
+        if cycle > t:
+            self.stall_backpressure_cycles += cycle - t
 
     def _issue_aw(self, cycle: int) -> None:
         if not self._issue_q or cycle < self._next_aw_cycle:
@@ -177,6 +216,7 @@ class Writer(Component):
             return
         if not self.port.aw.can_push():
             return
+        self._attribute_stall(cycle)
         sub = self._issue_q.popleft()
         sub.axi_id = self._next_id
         self._next_id = (self._next_id + 1) % max(self.tuning.n_axi_ids, 1)
@@ -191,6 +231,8 @@ class Writer(Component):
         self._in_flight += 1
         self.bursts_issued += 1
         self._next_aw_cycle = cycle + self.tuning.aw_issue_gap
+        # The next queued burst (if any) cannot issue before the next tick.
+        self._head_since = cycle + 1
         if self.spans is not None:
             self._span_by_tag[req.tag] = self.spans.axi_begin(
                 cycle, self.span_key, self.name, "write", sub.addr, sub.beats
@@ -223,6 +265,9 @@ class Writer(Component):
             raise RuntimeError(f"{self.name}: B resp with unknown tag")
         sub.done = True
         self._in_flight -= 1
+        if self._in_flight == self.tuning.max_in_flight - 1:
+            # Freed slot is usable from the next tick (issue ran already).
+            self._inflight_ok_since = cycle + 1
         self._buffered_bytes -= sub.payload_bytes
         del self._sub_payload[resp.tag]
         span_id = self._span_by_tag.pop(resp.tag, 0)
@@ -258,7 +303,7 @@ class Writer(Component):
             if len(requests) < 2 and request._pop_count < len(request._items):
                 accept_req()
             if requests:
-                accept_data()
+                accept_data(cycle)
             if (
                 self._issue_q
                 and cycle >= self._next_aw_cycle

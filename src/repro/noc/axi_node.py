@@ -68,6 +68,15 @@ class AxiBufferNode(Component):
         # Per-upstream count of outstanding W bursts already granted, so we
         # never forward an AW whose W data could deadlock the lock queue.
         self.forwarded = {"ar": 0, "aw": 0, "w": 0, "r": 0, "b": 0}
+        # Contention accounting (repro.obs.attribution): cycles each channel
+        # spent with an item ready to forward but the receiving side full.
+        # ``_stall_since[ch] >= 0`` marks an open stall window; the window is
+        # closed (and accrued) at the first tick the blocked side has room
+        # again.  Stall windows only open while the blocking channels are
+        # non-empty, so every open/close tick is executed under all four
+        # scheduling modes and the counters are mode-identical.
+        self.stall_cycles = {"ar": 0, "aw": 0, "w": 0, "r": 0, "b": 0}
+        self._stall_since = {"ar": -1, "aw": -1, "w": -1, "r": -1, "b": -1}
 
     @property
     def metric_path(self) -> str:
@@ -76,6 +85,7 @@ class AxiBufferNode(Component):
     def register_metrics(self, scope) -> None:
         for ch in ("ar", "aw", "w", "r", "b"):
             scope.bind(f"forwarded_{ch}", lambda ch=ch: self.forwarded[ch])
+            scope.bind(f"stall_{ch}_cycles", lambda ch=ch: self.stall_cycles[ch])
         scope.bind("upstreams", lambda: len(self.upstreams))
 
     # -- ID remapping -------------------------------------------------------
@@ -95,7 +105,14 @@ class AxiBufferNode(Component):
 
     def _forward_ar(self, cycle: int) -> None:
         if not self.down.port.ar.can_push():
+            if self._stall_since["ar"] < 0 and any(
+                up.ar.can_pop() for up in self.upstreams
+            ):
+                self._stall_since["ar"] = cycle
             return
+        if self._stall_since["ar"] >= 0:
+            self.stall_cycles["ar"] += cycle - self._stall_since["ar"]
+            self._stall_since["ar"] = -1
         n = len(self.upstreams)
         for k in range(n):
             idx = (self._ar_rr + k) % n
@@ -112,7 +129,14 @@ class AxiBufferNode(Component):
 
     def _forward_aw(self, cycle: int) -> None:
         if not self.down.port.aw.can_push():
+            if self._stall_since["aw"] < 0 and any(
+                up.aw.can_pop() for up in self.upstreams
+            ):
+                self._stall_since["aw"] = cycle
             return
+        if self._stall_since["aw"] >= 0:
+            self.stall_cycles["aw"] += cycle - self._stall_since["aw"]
+            self._stall_since["aw"] = -1
         n = len(self.upstreams)
         for k in range(n):
             idx = (self._aw_rr + k) % n
@@ -129,10 +153,17 @@ class AxiBufferNode(Component):
                 return
 
     def _forward_w(self, cycle: int) -> None:
-        if not self._w_order or not self.down.port.w.can_push():
+        if not self._w_order:
             return
         idx, remaining = self._w_order[0]
         up = self.upstreams[idx]
+        if not self.down.port.w.can_push():
+            if self._stall_since["w"] < 0 and up.w.can_pop():
+                self._stall_since["w"] = cycle
+            return
+        if self._stall_since["w"] >= 0:
+            self.stall_cycles["w"] += cycle - self._stall_since["w"]
+            self._stall_since["w"] = -1
         if not up.w.can_pop():
             return
         beat = up.w.pop()
@@ -155,16 +186,22 @@ class AxiBufferNode(Component):
         if idx >= len(self.upstreams):
             raise SimulationError(f"{self.name}: R beat for unknown upstream {idx}")
         up = self.upstreams[idx]
-        if up.r.can_push():
-            down_r.pop()
-            data, err = beat.data, beat.err
-            hook = self._fault
-            if hook is not None:
-                verdict, data, err = hook.filter_r(cycle, beat)
-                if verdict == "drop":
-                    return  # beat lost on the link; the burst can never complete
-            up.r.push(RBeat(local_id, data, beat.last, beat.tag, err))
-            self.forwarded["r"] += 1
+        if not up.r.can_push():
+            if self._stall_since["r"] < 0:
+                self._stall_since["r"] = cycle
+            return
+        if self._stall_since["r"] >= 0:
+            self.stall_cycles["r"] += cycle - self._stall_since["r"]
+            self._stall_since["r"] = -1
+        down_r.pop()
+        data, err = beat.data, beat.err
+        hook = self._fault
+        if hook is not None:
+            verdict, data, err = hook.filter_r(cycle, beat)
+            if verdict == "drop":
+                return  # beat lost on the link; the burst can never complete
+        up.r.push(RBeat(local_id, data, beat.last, beat.tag, err))
+        self.forwarded["r"] += 1
 
     def _route_b(self, cycle: int) -> None:
         down_b = self.down.port.b
@@ -175,13 +212,19 @@ class AxiBufferNode(Component):
         if idx >= len(self.upstreams):
             raise SimulationError(f"{self.name}: B resp for unknown upstream {idx}")
         up = self.upstreams[idx]
-        if up.b.can_push():
-            down_b.pop()
-            hook = self._fault
-            if hook is not None and hook.drop_b(cycle, resp):
-                return  # response lost; the writer stalls and the watchdog fires
-            up.b.push(BResp(local_id, resp.okay, resp.tag))
-            self.forwarded["b"] += 1
+        if not up.b.can_push():
+            if self._stall_since["b"] < 0:
+                self._stall_since["b"] = cycle
+            return
+        if self._stall_since["b"] >= 0:
+            self.stall_cycles["b"] += cycle - self._stall_since["b"]
+            self._stall_since["b"] = -1
+        down_b.pop()
+        hook = self._fault
+        if hook is not None and hook.drop_b(cycle, resp):
+            return  # response lost; the writer stalls and the watchdog fires
+        up.b.push(BResp(local_id, resp.okay, resp.tag))
+        self.forwarded["b"] += 1
 
     def next_event(self, cycle: int) -> float:
         # Purely reactive: every action pops a visible channel item, so with
@@ -223,11 +266,17 @@ class AxiBufferNode(Component):
         child_mask = (1 << child_bits) - 1
         w_order = self._w_order
         forwarded = self.forwarded
+        stall_cycles = self.stall_cycles
+        stall_since = self._stall_since
         name = self.name
 
         def tick(cycle, self=self):
             # -- AR arbitration -------------------------------------------
             if len(d_ar._items) + len(d_ar._staged) < d_ar.capacity:
+                since = stall_since["ar"]
+                if since >= 0:
+                    stall_cycles["ar"] += cycle - since
+                    stall_since["ar"] = -1
                 rr = self._ar_rr
                 for k in range(n):
                     idx = rr + k
@@ -249,8 +298,17 @@ class AxiBufferNode(Component):
                         self._ar_rr = idx if idx < n else 0
                         forwarded["ar"] += 1
                         break
+            elif stall_since["ar"] < 0:
+                for chan in up_ar:
+                    if chan._pop_count < len(chan._items):
+                        stall_since["ar"] = cycle
+                        break
             # -- AW arbitration -------------------------------------------
             if len(d_aw._items) + len(d_aw._staged) < d_aw.capacity:
+                since = stall_since["aw"]
+                if since >= 0:
+                    stall_cycles["aw"] += cycle - since
+                    stall_since["aw"] = -1
                 rr = self._aw_rr
                 for k in range(n):
                     idx = rr + k
@@ -273,23 +331,35 @@ class AxiBufferNode(Component):
                         self._aw_rr = idx if idx < n else 0
                         forwarded["aw"] += 1
                         break
+            elif stall_since["aw"] < 0:
+                for chan in up_aw:
+                    if chan._pop_count < len(chan._items):
+                        stall_since["aw"] = cycle
+                        break
             # -- W streaming (locked to AW order) -------------------------
-            if w_order and len(d_w._items) + len(d_w._staged) < d_w.capacity:
+            if w_order:
                 idx, remaining = w_order[0]
                 chan = up_w[idx]
-                if chan._pop_count < len(chan._items):
-                    beat = chan.pop()
-                    push_w(cycle, beat)
-                    remaining -= 1
-                    forwarded["w"] += 1
-                    if beat.last:
-                        if remaining != 0:
-                            raise SimulationError(
-                                f"{name}: W burst length mismatch"
-                            )
-                        w_order.popleft()
-                    else:
-                        w_order[0] = (idx, remaining)
+                if len(d_w._items) + len(d_w._staged) < d_w.capacity:
+                    since = stall_since["w"]
+                    if since >= 0:
+                        stall_cycles["w"] += cycle - since
+                        stall_since["w"] = -1
+                    if chan._pop_count < len(chan._items):
+                        beat = chan.pop()
+                        push_w(cycle, beat)
+                        remaining -= 1
+                        forwarded["w"] += 1
+                        if beat.last:
+                            if remaining != 0:
+                                raise SimulationError(
+                                    f"{name}: W burst length mismatch"
+                                )
+                            w_order.popleft()
+                        else:
+                            w_order[0] = (idx, remaining)
+                elif stall_since["w"] < 0 and chan._pop_count < len(chan._items):
+                    stall_since["w"] = cycle
             # -- R routing ------------------------------------------------
             if d_r._pop_count < len(d_r._items):
                 beat = d_r._items[d_r._pop_count]
@@ -300,6 +370,10 @@ class AxiBufferNode(Component):
                     )
                 chan = up_r[idx]
                 if len(chan._items) + len(chan._staged) < chan.capacity:
+                    since = stall_since["r"]
+                    if since >= 0:
+                        stall_cycles["r"] += cycle - since
+                        stall_since["r"] = -1
                     d_r.pop()
                     data, err = beat.data, beat.err
                     hook = self._fault
@@ -313,6 +387,8 @@ class AxiBufferNode(Component):
                                   beat.tag, err)
                         )
                         forwarded["r"] += 1
+                elif stall_since["r"] < 0:
+                    stall_since["r"] = cycle
             # -- B routing ------------------------------------------------
             if d_b._pop_count < len(d_b._items):
                 resp = d_b._items[d_b._pop_count]
@@ -323,12 +399,18 @@ class AxiBufferNode(Component):
                     )
                 chan = up_b[idx]
                 if len(chan._items) + len(chan._staged) < chan.capacity:
+                    since = stall_since["b"]
+                    if since >= 0:
+                        stall_cycles["b"] += cycle - since
+                        stall_since["b"] = -1
                     d_b.pop()
                     hook = self._fault
                     if not (hook is not None and hook.drop_b(cycle, resp)):
                         chan.push(BResp(resp.axi_id & child_mask, resp.okay,
                                         resp.tag))
                         forwarded["b"] += 1
+                elif stall_since["b"] < 0:
+                    stall_since["b"] = cycle
 
         return tick
 

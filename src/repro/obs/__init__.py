@@ -3,8 +3,19 @@
 See DESIGN.md ("Observability") for the namespace scheme and span model.
 """
 
+from repro.obs.attribution import (
+    SEGMENTS,
+    CommandPath,
+    attribution_report,
+    contention_summary,
+    counter_track_events,
+    extract_command_paths,
+    render_attribution_report,
+    segment_totals,
+)
 from repro.obs.config import Observability
 from repro.obs.export import (
+    TraceTruncationWarning,
     chrome_trace,
     chrome_trace_events,
     export_chrome_trace,
@@ -14,6 +25,7 @@ from repro.obs.export import (
 from repro.obs.profiler import profile_summary, render_profile_report
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    DEFAULT_PERCENTILES,
     BoundMetric,
     Counter,
     Gauge,
@@ -25,19 +37,29 @@ from repro.obs.spans import CommandSpanTracker
 
 __all__ = [
     "BoundMetric",
+    "CommandPath",
     "CommandSpanTracker",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_PERCENTILES",
     "Gauge",
     "Histogram",
     "MetricRegistry",
     "MetricScope",
     "Observability",
+    "SEGMENTS",
+    "TraceTruncationWarning",
+    "attribution_report",
     "chrome_trace",
     "chrome_trace_events",
+    "contention_summary",
+    "counter_track_events",
     "export_chrome_trace",
     "export_metrics",
+    "extract_command_paths",
     "profile_summary",
+    "render_attribution_report",
     "render_profile_report",
+    "segment_totals",
     "validate_chrome_trace",
 ]

@@ -24,12 +24,17 @@ are preserved in ``args.parent``/``args.span_id``.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.trace import Span, Tracer
 
 #: One simulated cycle maps to one microsecond of trace time.
 PID = 1
+
+
+class TraceTruncationWarning(UserWarning):
+    """The tracer's ring buffer wrapped: the exported trace is incomplete."""
 
 
 def _assign_lanes(spans: Sequence[Span]) -> Dict[int, int]:
@@ -52,6 +57,7 @@ def _assign_lanes(spans: Sequence[Span]) -> Dict[int, int]:
 def chrome_trace_events(
     tracer: Optional[Tracer] = None,
     monitors: Iterable = (),
+    extra_events: Sequence[Dict[str, Any]] = (),
 ) -> List[Dict[str, Any]]:
     """Build the ``traceEvents`` list from spans and AXI monitor records."""
     events: List[Dict[str, Any]] = [
@@ -129,6 +135,8 @@ def chrome_trace_events(
         ]
         add_track(f"axi/{monitor.port_name}", pseudo)
 
+    events.extend(extra_events)
+
     for tid, display in thread_names:
         events.append(
             {
@@ -143,20 +151,37 @@ def chrome_trace_events(
 
 
 def chrome_trace(
-    tracer: Optional[Tracer] = None, monitors: Iterable = ()
+    tracer: Optional[Tracer] = None,
+    monitors: Iterable = (),
+    extra_events: Sequence[Dict[str, Any]] = (),
 ) -> Dict[str, Any]:
+    other: Dict[str, Any] = {"clock": "1 cycle = 1us"}
+    if tracer is not None and (tracer.dropped_events or tracer.dropped_spans):
+        # Never let a wrapped ring buffer masquerade as a complete trace.
+        other["dropped_events"] = tracer.dropped_events
+        other["dropped_spans"] = tracer.dropped_spans
+        warnings.warn(
+            f"trace ring buffer wrapped: {tracer.dropped_events} event(s) and "
+            f"{tracer.dropped_spans} span(s) dropped; exported trace is "
+            "incomplete (raise Observability.max_events)",
+            TraceTruncationWarning,
+            stacklevel=2,
+        )
     return {
-        "traceEvents": chrome_trace_events(tracer, monitors),
+        "traceEvents": chrome_trace_events(tracer, monitors, extra_events),
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "1 cycle = 1us"},
+        "otherData": other,
     }
 
 
 def export_chrome_trace(
-    path: str, tracer: Optional[Tracer] = None, monitors: Iterable = ()
+    path: str,
+    tracer: Optional[Tracer] = None,
+    monitors: Iterable = (),
+    extra_events: Sequence[Dict[str, Any]] = (),
 ) -> Dict[str, Any]:
     """Write a Perfetto-loadable trace JSON file; returns the trace object."""
-    trace = chrome_trace(tracer, monitors)
+    trace = chrome_trace(tracer, monitors, extra_events)
     with open(path, "w") as f:
         json.dump(trace, f)
     return trace

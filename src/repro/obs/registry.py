@@ -38,6 +38,15 @@ SEP = "/"
 #: Default histogram buckets: powers of two up to 64Ki, good for cycle counts.
 DEFAULT_BUCKETS = tuple(1 << i for i in range(17))
 
+#: Default percentiles reported by histogram dumps.  p999 rides along because
+#: the serving-SLO reports (ROADMAP item 3) gate on tail latency.
+DEFAULT_PERCENTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+def _percentile_key(q: float) -> str:
+    """``0.999 -> "p999"``, ``0.5 -> "p50"`` — stable dump/report keys."""
+    return "p" + f"{q * 100:g}".replace(".", "")
+
 
 class Counter:
     """A monotonically increasing event counter that compares like an int."""
@@ -140,14 +149,28 @@ class Gauge(Counter):
 
 
 class Histogram:
-    """Fixed-bucket histogram: counts per upper bound plus an overflow bin."""
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bin.
 
-    __slots__ = ("buckets", "counts", "count", "total")
+    ``percentiles`` selects which quantiles the dump reports (as ``p50``,
+    ``p999``, ... keys).  Quantiles are estimated by linear interpolation
+    inside the bucket holding the target rank — exact at bucket bounds and
+    deterministic, which is all the SLO reports need.
+    """
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    __slots__ = ("buckets", "counts", "count", "total", "percentiles")
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    ) -> None:
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket bound")
+        for q in percentiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"percentile {q} outside (0, 1)")
+        self.percentiles = tuple(percentiles)
         self.counts = [0] * (len(self.buckets) + 1)  # last bin = overflow
         self.count = 0
         self.total = 0
@@ -165,13 +188,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 on an empty histogram).
+
+        Overflow-bin ranks return the largest bucket bound: the histogram
+        cannot see past its last bound, and a flat answer there is more
+        honest than extrapolation.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            c = self.counts[i]
+            if c and seen + c >= rank:
+                lo = self.buckets[i - 1] if i else 0
+                return lo + (bound - lo) * (rank - seen) / c
+            seen += c
+        return float(self.buckets[-1])
+
     def dump_value(self):
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "buckets": {str(b): c for b, c in zip(self.buckets, self.counts)},
             "overflow": self.counts[-1],
         }
+        for q in self.percentiles:
+            out[_percentile_key(q)] = self.quantile(q)
+        return out
 
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.2f})"
@@ -218,8 +263,13 @@ class MetricRegistry:
     def gauge(self, name: str) -> Gauge:
         return self.attach(name, Gauge())
 
-    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self.attach(name, Histogram(buckets))
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    ) -> Histogram:
+        return self.attach(name, Histogram(buckets, percentiles))
 
     def attach(self, name: str, metric, volatile: bool = False):
         """Adopt an existing metric object under ``name``.
@@ -286,6 +336,13 @@ class MetricRegistry:
         for name, value in sorted(self.dump(prefix).items()):
             if isinstance(value, dict):  # histogram
                 shown = f"count={value['count']} total={value['total']}"
+                tails = " ".join(
+                    f"{k}={value[k]:.0f}"
+                    for k in sorted(value, key=len)
+                    if k.startswith("p") and k[1:].isdigit()
+                )
+                if tails:
+                    shown += f" {tails}"
             elif isinstance(value, float):
                 shown = f"{value:.4f}"
             else:
@@ -315,8 +372,13 @@ class MetricScope:
     def gauge(self, name: str) -> Gauge:
         return self.registry.gauge(self._name(name))
 
-    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self.registry.histogram(self._name(name), buckets)
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    ) -> Histogram:
+        return self.registry.histogram(self._name(name), buckets, percentiles)
 
     def attach(self, name: str, metric, volatile: bool = False):
         return self.registry.attach(self._name(name), metric, volatile=volatile)

@@ -132,10 +132,18 @@ class CompiledProgram:
             frozenset(id(c) for c in wake_chans[idx])
             for idx in range(len(components))
         ]
+        # Profiled runs disable fusion entirely: a fused slot is one dispatch,
+        # so its wall-clock sample cannot be split among members and would
+        # mis-attribute self-time to a "(fused)/..." pseudo-component.  The
+        # profiler is volatile instrumentation — cycle results are identical
+        # either way — so trading fusion's dispatch saving for correct
+        # per-component attribution is free in model terms.
+        fuse_ok = not sim.profile_enabled
         index_groups: List[List[int]] = []
         for idx in range(len(components)):
             if (
                 index_groups
+                and fuse_ok
                 and fusable[idx]
                 and fusable[index_groups[-1][-1]]
                 and len(index_groups[-1]) < MAX_FUSED

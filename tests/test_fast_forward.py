@@ -68,6 +68,21 @@ def _elision(design):
     return sum(sim.cycle - sim.component_ticks(c) for c in sim._components)
 
 
+def _attribution_totals(design):
+    """Critical-path segment totals (repro.obs.attribution) for the run.
+
+    Attribution consumes only stable inputs (spans, monitor records,
+    contention counters), so the decomposition must be bit-identical across
+    scheduling modes.
+    """
+    from repro.obs import extract_command_paths, segment_totals
+
+    paths = extract_command_paths(design.tracer, [design.monitor])
+    for p in paths:
+        assert sum(p.segments.values()) == p.latency
+    return segment_totals(paths)
+
+
 def _outcome(design, handle, responses, data_ok):
     return {
         "cycle": handle.cycle,
@@ -76,6 +91,7 @@ def _outcome(design, handle, responses, data_ok):
         "responses": responses,
         "data": data_ok,
         "metrics": _stable_metrics(design),
+        "attribution": _attribution_totals(design),
         "skipped": design.sim.cycles_skipped,
         "elided": _elision(design),
     }
@@ -93,6 +109,9 @@ def _assert_equivalent(naive, skipping):
     # span counts — must be bit-identical between the two schedules.
     assert skipping["metrics"] == naive["metrics"]
     assert skipping["metrics"], "registry dump unexpectedly empty"
+    # Cycle attribution (critical-path segment totals) is derived purely
+    # from stable data, so it too must be scheduling-mode-identical.
+    assert skipping["attribution"] == naive["attribution"]
     # The whole point: the skipping run elided work, the naive run never
     # does.  (Fast-forward elides whole cycles; selective elides individual
     # component ticks even on cycles it steps.)

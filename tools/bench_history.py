@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Append benchmark results to a history file and gate on regressions.
+
+CLI over :mod:`repro.obs.regress`.  Two subcommands:
+
+``append``
+    Record one ``BENCH_*.json`` result (flattened numeric metrics + git /
+    source-tree provenance) as a JSONL line::
+
+        python tools/bench_history.py append \\
+            --history bench-history.jsonl --bench BENCH_kernel.json
+
+``check``
+    Compare the newest entry for a bench against the mean of the trailing
+    window.  With fewer than two history points the check warns and exits 0
+    (no baseline yet); once a baseline exists, a perf metric moving against
+    its direction by more than ``--tolerance`` exits 1.  CI persists the
+    history file through a cache so the gate arms on the second run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.regress import (
+    append_history,
+    check_regressions,
+    load_history,
+    render_check,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="record a BENCH_*.json result")
+    p_append.add_argument("--history", required=True, help="JSONL history file")
+    p_append.add_argument("--bench", required=True, help="BENCH_*.json to record")
+    p_append.add_argument(
+        "--name", default=None, help="bench name (default: derived from filename)"
+    )
+
+    p_check = sub.add_parser("check", help="gate the newest entry vs baseline")
+    p_check.add_argument("--history", required=True, help="JSONL history file")
+    p_check.add_argument(
+        "--name", default=None, help="restrict to one bench name"
+    )
+    p_check.add_argument(
+        "--window", type=int, default=5, help="trailing baseline size"
+    )
+    p_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative move against a metric's direction",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "append":
+        entry = append_history(args.history, args.bench, name=args.name)
+        print(
+            f"bench-history: appended {entry['bench']!r} "
+            f"({len(entry['metrics'])} metrics, git {entry['git_sha'][:12]})"
+        )
+        return 0
+
+    entries = load_history(args.history, name=args.name)
+    name = args.name or (entries[-1]["bench"] if entries else "?")
+    ok, findings, n_baseline = check_regressions(
+        entries, window=args.window, tolerance=args.tolerance
+    )
+    print(render_check(ok, findings, n_baseline, name))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

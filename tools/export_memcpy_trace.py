@@ -33,6 +33,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="obs-artifacts", help="output directory")
     parser.add_argument("--bytes", type=int, default=16384, help="memcpy size")
+    parser.add_argument(
+        "--scheduling",
+        default=None,
+        choices=("naive", "fast_forward", "selective", "compiled"),
+        help="simulation kernel schedule (default: the design's default)",
+    )
     args = parser.parse_args(argv)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -41,6 +47,7 @@ def main(argv=None) -> int:
         memcpy_config(n_cores=1),
         AWSF1Platform(),
         observability=Observability(enabled=True),
+        scheduling=args.scheduling,
     )
     handle = FpgaHandle(build.design)
     src, dst = handle.malloc(args.bytes), handle.malloc(args.bytes)
@@ -60,6 +67,8 @@ def main(argv=None) -> int:
     build.export_metrics(str(out / "metrics.json"))
     (out / "metrics.txt").write_text(build.metrics_report() + "\n")
     (out / "profile.txt").write_text(build.profile_report() + "\n")
+    build.export_attribution(str(out / "attribution.json"))
+    (out / "attribution.txt").write_text(build.attribution_report_text() + "\n")
 
     problems = validate_chrome_trace(json.loads((out / "trace.json").read_text()))
     if problems:
@@ -82,7 +91,7 @@ def main(argv=None) -> int:
 
     n_events = len(trace["traceEvents"])
     print(f"wrote {out}/: trace.json ({n_events} events), metrics.json, "
-          f"metrics.txt, profile.txt")
+          f"metrics.txt, profile.txt, attribution.json, attribution.txt")
     print(f"command span {roots[0].name!r}: cycles "
           f"{roots[0].begin_cycle}..{roots[0].end_cycle}, "
           f"{len(bursts)} AXI bursts")
