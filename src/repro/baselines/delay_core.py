@@ -27,11 +27,11 @@ class DelayCore(AcceleratorCore):
     makes long-latency kernels cheap under event-skipping simulation.
     """
 
-    def __init__(self, ctx, latency_cycles: int) -> None:
+    def __init__(self, ctx, latency_cycles: int, io_name: str = "run") -> None:
         super().__init__(ctx)
         self.latency_cycles = max(int(latency_cycles), 1)
         self.io = self.beethoven_io(
-            CommandSpec("run", (Field("job", UInt(32)),)),
+            CommandSpec(io_name, (Field("job", UInt(32)),)),
             EmptyAccelResponse(),
         )
         self._respond_at: Optional[int] = None
@@ -65,8 +65,17 @@ class DelayCore(AcceleratorCore):
         return self._respond_at is None and not self._responding
 
 
-def delay_config(n_cores: int, latency_cycles: int, name: str = "Delay") -> AcceleratorConfig:
+def delay_config(
+    n_cores: int,
+    latency_cycles: int,
+    name: str = "Delay",
+    io_name: str = "run",
+) -> AcceleratorConfig:
+    """``io_name`` names the command IO — i.e. the *kernel class* the serving
+    layer routes on — so heterogeneous pools ("gemm" cores vs "attn" cores)
+    can be modelled with delay cores of different latencies."""
+
     def make(ctx):
-        return DelayCore(ctx, latency_cycles)
+        return DelayCore(ctx, latency_cycles, io_name=io_name)
 
     return AcceleratorConfig(name=name, n_cores=n_cores, module_constructor=make)

@@ -116,15 +116,15 @@ class BeethovenBuild:
     def profile_report(self, top: int = 0) -> str:
         return self.design.profile_report(top=top)
 
-    def attribution_report(self):
+    def attribution_report(self, by_tenant: bool = False):
         """Cycle-attribution rollup (see :mod:`repro.obs.attribution`)."""
-        return self.design.attribution_report()
+        return self.design.attribution_report(by_tenant=by_tenant)
 
     def attribution_report_text(self) -> str:
         return self.design.attribution_report_text()
 
-    def export_attribution(self, path: str):
-        return self.design.export_attribution(path)
+    def export_attribution(self, path: str, by_tenant: bool = False):
+        return self.design.export_attribution(path, by_tenant=by_tenant)
 
     # ---------------------------------------------------------------- reports
     @property

@@ -599,8 +599,12 @@ class ElaboratedDesign:
 
         return render_profile_report(self.sim, top=top)
 
-    def attribution_report(self):
-        """Cycle-attribution rollup (see :mod:`repro.obs.attribution`)."""
+    def attribution_report(self, by_tenant: bool = False):
+        """Cycle-attribution rollup (see :mod:`repro.obs.attribution`).
+
+        ``by_tenant=True`` adds a per-tenant rollup keyed on the serving
+        layer's tenant span tags.
+        """
         from repro.obs.attribution import attribution_report
 
         return attribution_report(
@@ -609,6 +613,7 @@ class ElaboratedDesign:
             registry=self.sim.registry,
             cycles=self.sim.cycle,
             timing=self.platform.dram_timing,
+            by_tenant=by_tenant,
         )
 
     def attribution_report_text(self) -> str:
@@ -616,11 +621,11 @@ class ElaboratedDesign:
 
         return render_attribution_report(self.attribution_report())
 
-    def export_attribution(self, path: str):
+    def export_attribution(self, path: str, by_tenant: bool = False):
         """Write the attribution rollup as JSON; returns the report dict."""
         import json
 
-        report = self.attribution_report()
+        report = self.attribution_report(by_tenant=by_tenant)
         with open(path, "w") as f:
             json.dump(report, f, indent=2, sort_keys=True, default=float)
         return report

@@ -32,7 +32,7 @@ from repro.runtime.server import WatchdogConfig
 from repro.sim import DeadlockError
 
 MODES: Tuple[str, ...] = ("naive", "fast_forward", "selective", "compiled")
-SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6")
+SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6", "serving")
 
 #: Outcomes the robustness contract allows.
 GOOD_OUTCOMES = ("ok", "degraded", "error")
@@ -236,9 +236,84 @@ def run_fig6_chaos(
     return _outcome("fig6", mode, seed, handle, outcome, error)
 
 
+#: Exception type names the serving layer records as *typed* ticket errors;
+#: anything else settling a ticket is an untyped escape (contract violation).
+_SERVING_TYPED = (
+    "CommandTimeout",
+    "FaultedResponse",
+    "CoreQuarantined",
+    "DeadlockError",
+    "AdmissionRejected",
+)
+
+
+def run_serving_chaos(
+    seed: int,
+    mode: str,
+    plan: Optional[FaultPlan] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+) -> ChaosOutcome:
+    """The multi-tenant serving layer under fault injection.
+
+    Two tenants submit a fixed heterogeneous mix (gemm + attn) through
+    :class:`~repro.serve.AcceleratorService` — admission, DRR release,
+    kernel routing and the settle pump all run over a faulted fabric, and
+    the contract is the serving layer's own: every admitted request settles
+    ``ok`` or ``failed`` with a *typed* error, and the run drains bounded.
+    The submission schedule is fixed (no RNG), so a given seed's outcome is
+    a pure function of the fault schedule — identical across modes.
+    """
+    from repro.runtime import FpgaHandle
+    from repro.serve.errors import ServeError
+    from repro.serve.scenarios import hetero_build
+    from repro.serve.service import AcceleratorService
+    from repro.serve.tenant import TenantConfig
+
+    plan = plan if plan is not None else default_plan(seed)
+    build = hetero_build(
+        mode=mode, faults=plan, watchdog=watchdog or CHAOS_WATCHDOG
+    )
+    handle = FpgaHandle(build.design)
+    errors: List[str] = []
+    unexpected = ""
+    tickets = []
+    try:
+        service = AcceleratorService(
+            handle,
+            [
+                TenantConfig(name="tA", max_in_flight=2),
+                TenantConfig(name="tB", max_in_flight=2),
+            ],
+        )
+        for r in range(2):
+            for tenant in ("tA", "tB"):
+                for kernel in ("gemm", "attn"):
+                    try:
+                        tickets.append(service.submit(tenant, kernel, job=r))
+                    except ServeError as exc:
+                        errors.append(f"{tenant}/{kernel}: {type(exc).__name__}")
+        service.run_until_drained(max_cycles=400_000)
+    except (FaultError, DeadlockError, ServeError) as exc:
+        errors.append(type(exc).__name__)
+    except Exception as exc:  # noqa: BLE001 — untyped escape = violation
+        unexpected = f"{type(exc).__name__}: {exc}"
+    for t in tickets:
+        if not t.settled:
+            errors.append(f"{t.tenant}/{t.kernel}: unsettled")
+        elif t.outcome == "failed":
+            name = t.error.split(":", 1)[0]
+            if name in _SERVING_TYPED:
+                errors.append(f"{t.tenant}/{t.kernel}: {name}")
+            elif not unexpected:
+                unexpected = f"untyped ticket error: {t.error}"
+    outcome, error = _classify(handle, errors, False, unexpected)
+    return _outcome("serving", mode, seed, handle, outcome, error)
+
+
 _SCENARIO_FNS: Dict[str, Callable[..., ChaosOutcome]] = {
     "memcpy": run_memcpy_chaos,
     "fig6": run_fig6_chaos,
+    "serving": run_serving_chaos,
 }
 
 

@@ -12,6 +12,7 @@ from repro.obs.attribution import (
     extract_command_paths,
     render_attribution_report,
     segment_totals,
+    tenant_rollup,
 )
 from repro.obs.config import Observability
 from repro.obs.export import (
@@ -61,5 +62,6 @@ __all__ = [
     "render_attribution_report",
     "render_profile_report",
     "segment_totals",
+    "tenant_rollup",
     "validate_chrome_trace",
 ]

@@ -77,6 +77,8 @@ class CommandPath:
     begin: int
     end: int
     segments: Dict[str, int] = field(default_factory=dict)
+    #: Serving-layer tenant tag ("" for untagged commands).
+    tenant: str = ""
 
     @property
     def latency(self) -> int:
@@ -249,6 +251,7 @@ def extract_command_paths(
                 begin=b,
                 end=e,
                 segments=segments,
+                tenant=str(root.args.get("tenant", "")),
             )
         )
     return paths
@@ -261,6 +264,50 @@ def segment_totals(paths: Iterable[CommandPath]) -> Dict[str, int]:
         for seg, cycles in path.segments.items():
             totals[seg] += cycles
     return totals
+
+
+def tenant_rollup(paths: Iterable[CommandPath]) -> Dict[str, Dict[str, Any]]:
+    """Per-tenant attribution: same segment taxonomy, grouped by tenant tag.
+
+    Commands without a tenant tag (plain :class:`FpgaHandle` traffic) roll up
+    under ``""``; callers rendering the result usually label that bucket
+    "untagged".  Shares are of the tenant's own total latency, so a tenant's
+    bottleneck verdict is independent of how much traffic it sent.
+    """
+    by_tenant: Dict[str, List[CommandPath]] = {}
+    for path in paths:
+        by_tenant.setdefault(path.tenant, []).append(path)
+    out: Dict[str, Dict[str, Any]] = {}
+    for tenant in sorted(by_tenant):
+        tpaths = by_tenant[tenant]
+        totals = segment_totals(tpaths)
+        total_latency = sum(p.latency for p in tpaths)
+        groups = {
+            name: sum(totals[seg] for seg in segs)
+            for name, segs in SEGMENT_GROUPS.items()
+        }
+        out[tenant] = {
+            "commands": len(tpaths),
+            "total_latency_cycles": total_latency,
+            "mean_latency_cycles": (
+                total_latency / len(tpaths) if tpaths else 0.0
+            ),
+            "segments": {
+                seg: {
+                    "cycles": totals[seg],
+                    "share": (
+                        totals[seg] / total_latency if total_latency else 0.0
+                    ),
+                }
+                for seg in SEGMENTS
+            },
+            "bottleneck": (
+                max(groups, key=lambda g: (groups[g], g))
+                if total_latency
+                else None
+            ),
+        }
+    return out
 
 
 # --------------------------------------------------------------- contention
@@ -366,13 +413,15 @@ def attribution_report(
     registry=None,
     cycles: int = 0,
     timing=None,
+    by_tenant: bool = False,
 ) -> Dict[str, Any]:
     """The full attribution rollup, JSON-serialisable.
 
     Combines per-command critical paths, segment totals/shares, the grouped
     bottleneck verdict and the contention summary.  ``timing`` (a
     :class:`~repro.dram.timing.DramTiming`) additionally enables the DRAM
-    service split by row outcome.
+    service split by row outcome.  ``by_tenant=True`` adds a ``tenants`` key
+    with the same segment taxonomy rolled up per serving-layer tenant tag.
     """
     paths = extract_command_paths(tracer, monitors)
     totals = segment_totals(paths)
@@ -408,6 +457,8 @@ def attribution_report(
     }
     if timing is not None:
         report["dram_service_split"] = dram_service_split(contention, timing)
+    if by_tenant:
+        report["tenants"] = tenant_rollup(paths)
     return report
 
 

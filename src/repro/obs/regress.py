@@ -30,10 +30,38 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Leaf-name fragments marking a metric where bigger is better.
-_HIGHER_BETTER = ("speedup", "per_second", "rate", "fraction", "throughput")
+_HIGHER_BETTER = (
+    "speedup",
+    "per_second",
+    "rate",
+    "fraction",
+    "throughput",
+    "goodput",
+    "fairness",
+)
 #: Leaf names where smaller is better (latency-like).  Deterministic cycle
 #: counts belong here: a cycle increase is a real simulated-perf regression.
-_LOWER_BETTER = ("wall_seconds", "cycles", "executed_ticks", "latency")
+#: Checked *before* the higher-better fragments so that a lower-better leaf
+#: containing one of them (``rejection_rate`` contains ``rate``) classifies
+#: correctly.
+_LOWER_BETTER = (
+    "wall_seconds",
+    "cycles",
+    "elapsed_cycles",
+    "executed_ticks",
+    "latency",
+    "p50",
+    "p90",
+    "p99",
+    "p999",
+    "mean_latency",
+    "mean_queue_wait",
+    "rejection_rate",
+)
+#: Leaf names that are plain event counts, not perf metrics — excluded
+#: before fragment matching because some collide with a fragment
+#: (``rejected_by_reason.rate_limited`` contains ``rate``).
+_NEUTRAL = ("rate_limited", "queue_full", "memory_budget")
 
 
 def flatten_numeric(obj: Any, prefix: str = "") -> Dict[str, float]:
@@ -53,14 +81,19 @@ def flatten_numeric(obj: Any, prefix: str = "") -> Dict[str, float]:
 def metric_direction(key: str) -> int:
     """+1 higher-is-better, -1 lower-is-better, 0 not a perf metric.
 
-    Higher-better fragments are matched anywhere in the dotted path (bench
-    JSON nests e.g. ``speedup.compiled_vs_naive``); lower-better names must
-    match the leaf exactly so ``cycles_per_second`` never reads as a latency.
+    Lower-better names must match the leaf exactly (so ``cycles_per_second``
+    never reads as a latency) and are checked first, because some contain a
+    higher-better fragment (``rejection_rate`` contains ``rate``).
+    Higher-better fragments are then matched anywhere in the dotted path
+    (bench JSON nests e.g. ``speedup.compiled_vs_naive``).
     """
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in _LOWER_BETTER:
+        return -1
+    if leaf in _NEUTRAL:
+        return 0
     if any(frag in key for frag in _HIGHER_BETTER):
         return 1
-    if key.rsplit(".", 1)[-1] in _LOWER_BETTER:
-        return -1
     return 0
 
 

@@ -66,19 +66,26 @@ class CommandSpanTracker:
 
     # ------------------------------------------------------------ lifecycle
     def command_submitted(
-        self, cycle: int, key: Key, client: int = 0, label: str = "cmd"
+        self, cycle: int, key: Key, client: int = 0, label: str = "cmd",
+        tenant: str = "",
     ) -> int:
-        """Host enqueued a command at the runtime server; opens the root span."""
+        """Host enqueued a command at the runtime server; opens the root span.
+
+        ``tenant`` (when the serving layer set one) is recorded in the span
+        args only when non-empty, so untagged traces keep their exact
+        pre-serving shape.
+        """
         if not self.enabled:
             return 0
         self.commands_tracked += 1
+        args = {"system_id": key[0], "core_id": key[1], "client": client}
+        if tenant:
+            args["tenant"] = tenant
         return self.tracer.begin_span(
             cycle,
             self.track_for(key),
             f"cmd:{label}",
-            system_id=key[0],
-            core_id=key[1],
-            client=client,
+            **args,
         )
 
     def dispatch_begin(self, cycle: int, span_id: int) -> None:

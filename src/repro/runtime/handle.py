@@ -22,6 +22,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.command.rocc import RoccInstruction, RoccResponse
 from repro.faults.errors import CommandTimeout, CoreQuarantined, FaultedResponse
+from repro.obs.registry import Counter
 from repro.runtime.allocator import make_allocator
 from repro.runtime.server import CommandContext, RuntimeServer, WatchdogConfig
 from repro.sim import DeadlockError
@@ -90,16 +91,37 @@ class ResponseHandle:
         self._spec = response_spec
         self._response: Optional[RoccResponse] = None
         self._error: Optional[Exception] = None
+        self._callbacks: list = []
         self.submitted_cycle = handle.design.sim.cycle
 
     def _complete(self, resp: RoccResponse) -> None:
         if self._error is None and self._response is None:
             self._response = resp
+            self._notify()
 
     def _fail(self, exc: Exception) -> None:
         # First outcome wins; a late response after a typed error is dropped.
         if self._error is None and self._response is None:
             self._error = exc
+            self._notify()
+
+    def _notify(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def add_done_callback(self, fn) -> None:
+        """Invoke ``fn(self)`` exactly once when the future settles.
+
+        Fires from inside the runtime server's poll tick (or immediately if
+        already settled) — the same mid-tick context the watchdog's retry
+        resubmission runs in, so callbacks may safely submit new commands.
+        Retries are invisible here: only the terminal outcome notifies.
+        """
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
 
     @property
     def done(self) -> bool:
@@ -259,13 +281,17 @@ class FpgaHandle:
         core_idx: int,
         _client: int = 0,
         _retryable: bool = True,
+        _tenant: str = "",
+        _batch: Optional[int] = None,
         **fields,
     ) -> ResponseHandle:
         """Send one custom command; returns a response future.
 
         ``_retryable=False`` marks the command non-idempotent: the watchdog
         will never re-issue it, and a timeout surfaces directly as a typed
-        error on the future.
+        error on the future.  ``_tenant`` tags the command's span for
+        per-tenant attribution and ``_batch`` groups compatible commands so
+        the server amortises lock acquisition (both set by ``repro.serve``).
         """
         design = self.design
         system = next(
@@ -296,16 +322,19 @@ class FpgaHandle:
             retryable=_retryable,
         )
         ctx.resubmit = lambda: self._submit_command(
-            system, io_index, io, core_idx, dict(fields), handle, ctx, _client
+            system, io_index, io, core_idx, dict(fields), handle, ctx, _client,
+            tenant=_tenant, batch=_batch,
         )
         ctx.on_error = handle._fail
         self._submit_command(
-            system, io_index, io, core_idx, dict(fields), handle, ctx, _client
+            system, io_index, io, core_idx, dict(fields), handle, ctx, _client,
+            tenant=_tenant, batch=_batch,
         )
         return handle
 
     def _submit_command(
-        self, system, io_index, io, core_idx, fields, handle, ctx, client
+        self, system, io_index, io, core_idx, fields, handle, ctx, client,
+        tenant: str = "", batch: Optional[int] = None,
     ) -> None:
         """Issue (or re-issue) one command onto the next healthy core."""
         design = self.design
@@ -329,7 +358,7 @@ class FpgaHandle:
                         try:
                             self._submit_command(
                                 system, io_index, io, core_idx, fields,
-                                handle, ctx, client,
+                                handle, ctx, client, tenant=tenant, batch=batch,
                             )
                         except Exception as exc:
                             handle._fail(exc)
@@ -371,6 +400,8 @@ class FpgaHandle:
                 client=client,
                 label=ctx.label,
                 ctx=ctx if last else None,
+                tenant=tenant,
+                batch=batch,
             )
 
     # ------------------------------------------------------------- sim plumbing
@@ -392,12 +423,30 @@ class ClientHandle:
     Allocations go through the shared (host-resident) allocator, so separate
     clients never receive overlapping device memory; commands are tagged
     with the client id and arbitrated fairly by the runtime server.
+
+    **FIFO-per-client guarantee**: commands submitted through one client are
+    dispatched onto the MMIO bus in exactly their submission order.  The
+    server round-robins *between* clients but each client's queue is a strict
+    FIFO, checked per dispatch (``runtime/server/fifo_violations`` stays 0).
+    Per-client traffic counters are published under ``serve/client/<id>/``.
     """
 
     def __init__(self, handle: FpgaHandle, client_id: int, name: str) -> None:
         self._handle = handle
         self.client_id = client_id
         self.name = name
+        #: Tenant this client fronts (set by the serving layer; spans carry it).
+        self.tenant = ""
+        self.submitted = Counter()
+        self.completed = Counter()
+        scope = handle.design.registry.scope(f"serve/client/{client_id}")
+        scope.attach("submitted", self.submitted)
+        scope.attach("completed", self.completed)
+        scope.bind("in_flight", lambda: int(self.submitted) - int(self.completed))
+
+    @property
+    def in_flight(self) -> int:
+        return int(self.submitted) - int(self.completed)
 
     def malloc(self, n_bytes: int) -> RemotePtr:
         return self._handle.malloc(n_bytes)
@@ -411,10 +460,26 @@ class ClientHandle:
     def copy_from_fpga(self, ptr: RemotePtr) -> None:
         self._handle.copy_from_fpga(ptr)
 
-    def call(self, system_name: str, io_name: str, core_idx: int, **fields) -> ResponseHandle:
-        return self._handle.call(
-            system_name, io_name, core_idx, _client=self.client_id, **fields
+    def call(
+        self,
+        system_name: str,
+        io_name: str,
+        core_idx: int,
+        _retryable: bool = True,
+        _batch: Optional[int] = None,
+        **fields,
+    ) -> ResponseHandle:
+        fut = self._handle.call(
+            system_name, io_name, core_idx,
+            _client=self.client_id,
+            _retryable=_retryable,
+            _tenant=self.tenant,
+            _batch=_batch,
+            **fields,
         )
+        self.submitted += 1
+        fut.add_done_callback(lambda _f: self.completed.__iadd__(1))
+        return fut
 
 
 def bindings_for(handle: FpgaHandle, system_name: str):

@@ -99,6 +99,11 @@ class PendingCommand:
     dispatch_end: Optional[int] = None
     span_id: int = 0  # observability root span (0 = untracked)
     ctx: Optional[CommandContext] = None
+    #: Per-client submission sequence number (FIFO-per-client guarantee).
+    seq: int = 0
+    #: Batch id from the serving layer's scheduler; consecutive commands of
+    #: one (client, batch) pair skip the lock re-acquisition cost.
+    batch: Optional[int] = None
 
 
 class RuntimeServer(Component):
@@ -123,10 +128,18 @@ class RuntimeServer(Component):
         self.tracer = tracer
         # Fair arbitration: one command queue per client process, served
         # round-robin (the "arbitrating fair access to the command-response
-        # bus" of Section II-C1).
+        # bus" of Section II-C1).  Within one client, dispatch order is a
+        # *guaranteed* FIFO: each submission is stamped with a per-client
+        # sequence number and `_dispatch` checks monotonicity on every pop
+        # (`fifo_violations` must stay 0 — tests assert it).
         self._queues: Dict[int, Deque[PendingCommand]] = {}
         self._client_rr: List[int] = []
         self._rr_pos = 0
+        self._client_seq: Dict[int, int] = {}
+        self._dispatched_seq: Dict[int, int] = {}
+        # (client, batch) of the last fully dispatched batched command; the
+        # next command continues the batch iff it matches.
+        self._last_batch: Optional[Tuple[int, int]] = None
         self._current: Optional[PendingCommand] = None
         self._words_left: List[int] = []
         self._next_word_cycle = 0
@@ -157,6 +170,12 @@ class RuntimeServer(Component):
         self.quarantines = Counter()
         self.late_responses = Counter()
         self.rerouted = Counter()  # incremented by the handle's router
+        # Serving-layer batching: lock acquisitions skipped because the
+        # command continued the previous command's batch, and the cycles
+        # that amortisation saved.
+        self.batch_lock_skips = Counter()
+        self.batch_cycles_saved = Counter()
+        self.fifo_violations = Counter()
         # Per-client lock-wait samples (enqueue -> dispatch), for fairness
         # analysis of the round-robin arbiter.
         self.client_lock_waits: Dict[int, List[int]] = {}
@@ -171,6 +190,9 @@ class RuntimeServer(Component):
         scope.attach("lock_wait_cycles", self.lock_wait_cycles)
         scope.attach("busy_cycles", self.busy_cycles)
         scope.attach("lock_wait", self.lock_wait_hist)
+        scope.attach("batch_lock_skips", self.batch_lock_skips)
+        scope.attach("batch_cycles_saved", self.batch_cycles_saved)
+        scope.attach("fifo_violations", self.fifo_violations)
         scope.bind("in_flight", lambda: self.in_flight)
         wd = scope.scope("watchdog")
         wd.attach("timeouts", self.timeouts)
@@ -192,6 +214,8 @@ class RuntimeServer(Component):
         client: int = 0,
         label: Optional[str] = None,
         ctx: Optional[CommandContext] = None,
+        tenant: str = "",
+        batch: Optional[int] = None,
     ) -> None:
         cmd = PendingCommand(
             inst.encode_words(),
@@ -200,12 +224,15 @@ class RuntimeServer(Component):
             cycle_hint,
             client,
             ctx=ctx,
+            batch=batch,
         )
+        self._client_seq[client] = cmd.seq = self._client_seq.get(client, 0) + 1
         # Only the completing chunk of a multi-chunk command carries the
         # response callback; that chunk is the one the span follows.
         if self.spans is not None and on_response is not None:
             cmd.span_id = self.spans.command_submitted(
-                cycle_hint, cmd.key, client, label or f"io{inst.funct7}"
+                cycle_hint, cmd.key, client, label or f"io{inst.funct7}",
+                tenant=tenant,
             )
         if client not in self._queues:
             self._queues[client] = deque()
@@ -284,16 +311,37 @@ class RuntimeServer(Component):
             self._current = self._pop_next()
             if self._current is None:
                 return
-            self._current.dispatch_start = cycle
-            wait = max(0, cycle - self._current.enqueue_cycle)
+            cur = self._current
+            last = self._dispatched_seq.get(cur.client, 0)
+            if cur.seq != last + 1:
+                self.fifo_violations += 1  # must never happen; tests assert 0
+            self._dispatched_seq[cur.client] = cur.seq
+            cur.dispatch_start = cycle
+            wait = max(0, cycle - cur.enqueue_cycle)
             self.lock_wait_cycles += wait
             self.lock_wait_hist.observe(wait)
-            self.client_lock_waits.setdefault(self._current.client, []).append(wait)
-            self._words_left = list(self._current.words)
-            # Lock acquisition + per-command bookkeeping cost.
-            self._next_word_cycle = cycle + self.host.command_lock_cycles
-            if self.spans is not None and self._current.span_id:
-                self.spans.dispatch_begin(cycle, self._current.span_id)
+            self.client_lock_waits.setdefault(cur.client, []).append(wait)
+            self._words_left = list(cur.words)
+            # Lock acquisition + per-command bookkeeping cost — skipped when
+            # this command continues the immediately preceding command's
+            # batch (same client, same batch id) *and* the bus never went
+            # idle in between (we are dispatching the very cycle the lock
+            # would have been released): the serving layer coalesces
+            # compatible commands to amortise MMIO serialisation, but an
+            # idle gap means the lock was genuinely dropped and must be
+            # re-acquired at full cost.
+            lock_cycles = self.host.command_lock_cycles
+            if (
+                cur.batch is not None
+                and self._last_batch == (cur.client, cur.batch)
+                and cycle == self._lock_until
+            ):
+                lock_cycles = 0
+                self.batch_lock_skips += 1
+                self.batch_cycles_saved += self.host.command_lock_cycles
+            self._next_word_cycle = cycle + lock_cycles
+            if self.spans is not None and cur.span_id:
+                self.spans.dispatch_begin(cycle, cur.span_id)
         if self._current is not None and cycle >= self._next_word_cycle:
             if self._words_left and self.mmio.cmd_words.can_push():
                 self.mmio.cmd_words.push(self._words_left.pop(0))
@@ -312,6 +360,9 @@ class RuntimeServer(Component):
                         _Waiter(cmd.on_response, cmd.span_id, deadline, cmd.ctx)
                     )
                 self.commands_sent += 1
+                self._last_batch = (
+                    (cmd.client, cmd.batch) if cmd.batch is not None else None
+                )
                 self._current = None
                 self._lock_until = cycle + 1
 

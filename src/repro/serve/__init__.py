@@ -1,0 +1,62 @@
+"""``repro.serve`` — the multi-tenant accelerator serving layer.
+
+Layers admission control (:class:`AdmissionController`), weighted
+deficit-round-robin fair scheduling (:class:`DrrScheduler`), command
+batching, and named-kernel heterogeneous routing (:class:`KernelRouter`) on
+top of :class:`repro.runtime.FpgaHandle`, plus a deterministic load
+generator (:mod:`repro.serve.loadgen`) that proves the layer's SLOs.  See
+DESIGN.md ("Multi-tenant serving layer") for the model and its determinism
+contract.
+"""
+
+from repro.serve.errors import (
+    REJECT_REASONS,
+    AdmissionRejected,
+    ServeError,
+    UnknownTenant,
+)
+from repro.serve.loadgen import (
+    ClosedLoop,
+    LoadBudgetExceeded,
+    LoadGenerator,
+    OpenLoop,
+    ServingReport,
+    TenantLoad,
+    jain_index,
+    percentile,
+)
+from repro.serve.routing import CoreSlot, KernelRouter
+from repro.serve.scheduler import DrrScheduler
+from repro.serve.service import AcceleratorService, TenantSession
+from repro.serve.tenant import (
+    AdmissionController,
+    ServeTicket,
+    TenantConfig,
+    TenantState,
+    TokenBucket,
+)
+
+__all__ = [
+    "AcceleratorService",
+    "AdmissionController",
+    "AdmissionRejected",
+    "ClosedLoop",
+    "CoreSlot",
+    "DrrScheduler",
+    "KernelRouter",
+    "LoadBudgetExceeded",
+    "LoadGenerator",
+    "OpenLoop",
+    "REJECT_REASONS",
+    "ServeError",
+    "ServeTicket",
+    "ServingReport",
+    "TenantConfig",
+    "TenantLoad",
+    "TenantSession",
+    "TenantState",
+    "TokenBucket",
+    "UnknownTenant",
+    "jain_index",
+    "percentile",
+]

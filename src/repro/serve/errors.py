@@ -1,0 +1,54 @@
+"""Typed errors of the multi-tenant serving layer.
+
+The serving layer's contract mirrors the fault layer's: a request either
+completes, fails with a *typed* error carried on its ticket, or is rejected
+synchronously at admission — never unbounded queueing, never a silent drop.
+These live in their own module (importing nothing from the rest of the
+package) so the admission controller, scheduler and load generator can all
+raise them without import cycles.
+"""
+
+from __future__ import annotations
+
+
+#: Admission rejection reasons; each has a dedicated per-tenant counter.
+REJECT_REASONS = (
+    "queue_full",
+    "rate_limited",
+    "memory_budget",
+    "kernel_not_allowed",
+    "unknown_kernel",
+)
+
+
+class ServeError(RuntimeError):
+    """Base class for typed serving-layer outcomes surfaced to clients."""
+
+
+class AdmissionRejected(ServeError):
+    """A request was refused at admission instead of being queued.
+
+    Bounded queues are the point of the admission controller: a tenant past
+    its quota receives this (with a machine-readable ``reason``) immediately,
+    so load sheds at the front door instead of growing an unbounded backlog
+    behind the runtime-server lock.
+    """
+
+    def __init__(
+        self, message: str, tenant: str = "", reason: str = "", kernel: str = ""
+    ) -> None:
+        super().__init__(message)
+        #: Tenant whose quota rejected the request.
+        self.tenant = tenant
+        #: One of :data:`REJECT_REASONS`.
+        self.reason = reason
+        #: Kernel class the rejected request addressed (may be empty).
+        self.kernel = kernel
+
+
+class UnknownTenant(ServeError):
+    """A request named a tenant the service was not configured with."""
+
+    def __init__(self, message: str, tenant: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
