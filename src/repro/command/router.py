@@ -25,11 +25,20 @@ class BeethovenIO:
     pushes response dicts into ``resp``.
     """
 
-    def __init__(self, command: CommandSpec, response: ResponseSpec, depth: int = 2) -> None:
+    def __init__(
+        self,
+        command: CommandSpec,
+        response: ResponseSpec,
+        depth: int = 2,
+        owner: str = "",
+    ) -> None:
         self.command_spec = command
         self.response_spec = response
-        self.req: ChannelQueue[dict] = ChannelQueue(depth, f"io.{command.name}.req")
-        self.resp: ChannelQueue[dict] = ChannelQueue(depth, f"io.{command.name}.resp")
+        # The owner prefix keeps channel (and metric) names unique per core;
+        # without it every core's "io.<cmd>.req" would collide in the registry.
+        stem = f"io.{owner}.{command.name}" if owner else f"io.{command.name}"
+        self.req: ChannelQueue[dict] = ChannelQueue(depth, f"{stem}.req")
+        self.resp: ChannelQueue[dict] = ChannelQueue(depth, f"{stem}.resp")
 
 
 class CoreCommandAdapter(Component):

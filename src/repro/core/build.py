@@ -50,6 +50,7 @@ class BeethovenBuild:
         scheduling: Optional[str] = None,
         faults=None,
         watchdog=None,
+        distributed=None,
     ) -> None:
         self.platform = platform
         self.build_mode = build_mode
@@ -63,6 +64,7 @@ class BeethovenBuild:
             scheduling=scheduling,
             faults=faults,
             watchdog=watchdog,
+            distributed=distributed,
         )
         if build_mode is BuildMode.Synthesis:
             report = self.design.routability
@@ -151,6 +153,13 @@ class BeethovenBuild:
             lines.append(
                 f"  memory network: {getattr(d, 'n_memory_interfaces', 0)} interfaces, "
                 f"{d.network.n_nodes} nodes, {d.network.n_pipes} SLR bridges"
+            )
+        if getattr(d, "dist_plan", None) is not None:
+            desc = d.dist_plan.descriptor()
+            lines.append(
+                f"  sharded: {desc.n_workers} partitions, slice width "
+                f"{desc.slice_width}, {len(desc.cut_set)} cut bridges "
+                f"({d.sim.engine} engine)"
             )
         if d.placement is not None and self.platform.device is not None:
             per_slr = {

@@ -107,7 +107,9 @@ class CoreContext:
 
     # -- core-facing API ------------------------------------------------------
     def beethoven_io(self, command: CommandSpec, response: ResponseSpec) -> BeethovenIO:
-        io = BeethovenIO(command, response)
+        io = BeethovenIO(
+            command, response, owner=f"{self.system_name}.c{self.core_id}"
+        )
         self.ios.append(io)
         return io
 

@@ -102,11 +102,30 @@ class ElaboratedDesign:
         scheduling: Optional[str] = None,
         faults=None,
         watchdog=None,
+        distributed=None,
     ) -> None:
         from repro.obs import CommandSpanTracker, Observability
 
         self.platform = platform
         self.configs = as_config_list(configs)
+        # ``distributed=`` shards the design across partition simulators at
+        # SLR-bridge boundaries (repro.dist).  Accepts a DistConfig or a
+        # plain worker count.
+        if distributed is not None:
+            from repro.dist import DistConfig, DistError
+
+            if isinstance(distributed, bool) or (
+                not isinstance(distributed, (int, DistConfig))
+            ):
+                raise DistError(
+                    "distributed= expects a DistConfig or a worker count, "
+                    f"got {type(distributed).__name__}"
+                )
+            if isinstance(distributed, int):
+                distributed = DistConfig(n_workers=distributed)
+        self.dist_config = distributed
+        self.dist_plan = None
+        self.root_sim = None
         # Metrics are always collected; the Observability config gates span
         # tracking, the wall-clock profiler, and trace ring-buffer caps.
         self.observability = (
@@ -115,8 +134,13 @@ class ElaboratedDesign:
             else Observability(profile=False)
         )
         self.tracer = tracer or Tracer(max_events=self.observability.max_events)
+        # Span tracking follows one command across the server, adapter and
+        # memory ports — a lifecycle that spans partitions in a sharded
+        # build, so it is forced off there (documented in DESIGN.md).
         self.span_tracker = (
-            CommandSpanTracker(self.tracer) if self.observability.enabled else None
+            CommandSpanTracker(self.tracer)
+            if self.observability.enabled and self.dist_config is None
+            else None
         )
         # Built designs default to the per-component selective scheduler:
         # every framework component declares wake channels and hints, and
@@ -153,12 +177,27 @@ class ElaboratedDesign:
         self.faults = None
 
         self._build_memory_network()
+        if self.dist_config is not None:
+            from repro.dist import plan_partitions
+
+            self.dist_plan = plan_partitions(self, self.dist_config)
         self._build_command_network()
         self._wire_observability()
         self._compile_faults(faults)
         self._register_all()
         self._finalise_report()
         self._check_routability()
+        if self.dist_plan is not None:
+            from repro.dist import DistSimulator
+
+            # From here on the design drives like any other: ``self.sim`` is
+            # the slice/barrier supervisor, the single-process kernel stays
+            # reachable as ``root_sim`` (partition 0).
+            self.root_sim = self.sim
+            self.sim = DistSimulator(
+                self.dist_plan, self.part_sims, self.dist_config,
+                fault_state=self.faults,
+            )
 
     # ------------------------------------------------------------------ cores
     def _build_cores(self) -> None:
@@ -408,10 +447,15 @@ class ElaboratedDesign:
     def _build_command_network(self) -> None:
         self.router = CommandRouter()
         self.mmio = MmioFrontend(self.router)
+        proxies = self.dist_plan.proxies if self.dist_plan is not None else {}
         for system in self.systems:
             for ecore in system.cores:
                 latency = self.platform.command_latency_for(ecore.slr)
-                self.router.attach(ecore.adapter, latency)
+                # In a sharded build, cores on non-root SLRs are commanded
+                # through a root-partition proxy; the command bridge adds the
+                # SLR-crossing hop on top of the stock attach latency.
+                proxy = proxies.get((ecore.system_id, ecore.core_id))
+                self.router.attach(proxy if proxy is not None else ecore.adapter, latency)
 
     # -------------------------------------------------------- observability
     def _wire_observability(self) -> None:
@@ -462,6 +506,15 @@ class ElaboratedDesign:
 
     # ------------------------------------------------------------- simulator
     def _register_all(self) -> None:
+        if self.dist_plan is not None:
+            from repro.dist import register_partitioned
+
+            self.part_sims = [self.sim] + [
+                Simulator(f"part{p}", scheduling=self.sim.scheduling)
+                for p in range(1, self.dist_plan.n_partitions)
+            ]
+            register_partitioned(self, self.dist_plan, self.part_sims)
+            return
         sim = self.sim
         sim.add(self.controller)
         sim.add(self.monitor)
@@ -597,7 +650,8 @@ class ElaboratedDesign:
     def profile_report(self, top: int = 0) -> str:
         from repro.obs.profiler import render_profile_report
 
-        return render_profile_report(self.sim, top=top)
+        # In a sharded build the wall-clock profiler only covers partition 0.
+        return render_profile_report(getattr(self.sim, "root", self.sim), top=top)
 
     def attribution_report(self, by_tenant: bool = False):
         """Cycle-attribution rollup (see :mod:`repro.obs.attribution`).

@@ -1,0 +1,38 @@
+"""Sharded parallel simulation: one SoC partitioned across worker processes.
+
+``BeethovenBuild(..., distributed=DistConfig(n_workers=4))`` cuts the
+elaborated design at its SLR-bridge boundaries (the only inter-partition
+edges are fixed-latency ``AxiPipe`` crossings and the command-network hops
+into remote SLRs), runs each partition under its own simulator — optionally
+in forked worker processes — and synchronizes them conservatively in cycle
+slices bounded by the minimum bridge latency.  Metrics, completion cycles
+and fault fingerprints are bit-identical to the in-process reference; see
+DESIGN.md ("Sharded simulation") for the lookahead argument.
+"""
+
+from repro.dist.bridge import BridgeEgress, BridgeIngress, CommandProxy
+from repro.dist.config import DIST_ENGINES, DistConfig, DistError
+from repro.dist.engine import DistSimulator, MergedRegistry
+from repro.dist.partition import (
+    BridgeSpec,
+    PartitionDescriptor,
+    PartitionPlan,
+    plan_partitions,
+    register_partitioned,
+)
+
+__all__ = [
+    "BridgeEgress",
+    "BridgeIngress",
+    "BridgeSpec",
+    "CommandProxy",
+    "DIST_ENGINES",
+    "DistConfig",
+    "DistError",
+    "DistSimulator",
+    "MergedRegistry",
+    "PartitionDescriptor",
+    "PartitionPlan",
+    "plan_partitions",
+    "register_partitioned",
+]

@@ -21,16 +21,24 @@ from repro.farm.cache import ResultCache
 from repro.farm.engine import Farm, FarmJobError
 from repro.farm.fingerprint import canonical, code_salt, job_fingerprint
 from repro.farm.job import Job, JobResult
-from repro.farm.pool import SerialPool, WorkerPool, current_attempt
+from repro.farm.pool import (
+    PoolStats,
+    SerialPool,
+    WorkerPool,
+    bind_pool_metrics,
+    current_attempt,
+)
 
 __all__ = [
     "Farm",
     "FarmJobError",
     "Job",
     "JobResult",
+    "PoolStats",
     "ResultCache",
     "SerialPool",
     "WorkerPool",
+    "bind_pool_metrics",
     "canonical",
     "code_salt",
     "current_attempt",

@@ -146,8 +146,21 @@ def code_salt() -> str:
     return os.environ.get(_SALT_ENV) or _source_tree_digest()
 
 
-def job_fingerprint(fn: Any, args: tuple, kwargs: dict, salt: Optional[str] = None) -> str:
-    """Content fingerprint of one job: callable + payload + code version."""
+def job_fingerprint(
+    fn: Any,
+    args: tuple,
+    kwargs: dict,
+    salt: Optional[str] = None,
+    partition: Any = None,
+) -> str:
+    """Content fingerprint of one job: callable + payload + code version.
+
+    ``partition`` folds a sharding descriptor (e.g. a
+    :class:`repro.dist.PartitionDescriptor`) into the key.  Sharded runs are
+    bit-identical to single-process ones for *stable* outputs, but volatile
+    harness metrics (``dist/*``) legitimately differ — so a cached result
+    must not be served across different partitionings.
+    """
     h = hashlib.sha256()
     h.update((salt if salt is not None else code_salt()).encode())
     h.update(b"\x00")
@@ -156,4 +169,7 @@ def job_fingerprint(fn: Any, args: tuple, kwargs: dict, salt: Optional[str] = No
     h.update(_canonical_bytes(tuple(args)))
     h.update(b"\x00")
     h.update(_canonical_bytes(dict(kwargs)))
+    if partition is not None:
+        h.update(b"\x00dist\x00")
+        h.update(_canonical_bytes(partition))
     return h.hexdigest()

@@ -52,6 +52,7 @@ class Job:
     timeout_s: Optional[float] = None
     max_attempts: Optional[int] = None
     cache: bool = True
+    partition: Any = None  # sharding descriptor folded into the cache key
 
     def __post_init__(self) -> None:
         self.args = tuple(self.args)
@@ -71,7 +72,9 @@ class Job:
     def fingerprint(self) -> str:
         """Content fingerprint (cache key); computed once per job."""
         if self._fingerprint is None:
-            self._fingerprint = job_fingerprint(self.fn, self.args, self.kwargs)
+            self._fingerprint = job_fingerprint(
+                self.fn, self.args, self.kwargs, partition=self.partition
+            )
         return self._fingerprint
 
     def resolve(self) -> Callable[..., Any]:

@@ -70,6 +70,69 @@ class PoolOutcome:
     crashes: int = 0
 
 
+@dataclass
+class PoolStats:
+    """Utilization snapshot of the pool's last :meth:`run` call.
+
+    ``busy_seconds`` maps worker id to wall time spent executing jobs;
+    ``utilization`` divides that by the run's elapsed time (a worker pinned
+    at 1.0 is the bottleneck; one near 0.0 is starved).  ``queue_high_water``
+    is the deepest the ready queue ever got — sustained depth near the job
+    count means the pool is under-provisioned for the sweep.
+    """
+
+    n_workers: int = 0
+    jobs: int = 0
+    elapsed_seconds: float = 0.0
+    busy_seconds: Dict[str, float] = None  # type: ignore[assignment]
+    dispatched: Dict[str, int] = None  # type: ignore[assignment]
+    queue_high_water: int = 0
+    respawns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.busy_seconds is None:
+            self.busy_seconds = {}
+        if self.dispatched is None:
+            self.dispatched = {}
+
+    @property
+    def utilization(self) -> Dict[str, float]:
+        if self.elapsed_seconds <= 0.0:
+            return {w: 0.0 for w in self.busy_seconds}
+        return {
+            w: min(busy / self.elapsed_seconds, 1.0)
+            for w, busy in self.busy_seconds.items()
+        }
+
+    @property
+    def mean_utilization(self) -> float:
+        util = self.utilization
+        return sum(util.values()) / len(util) if util else 0.0
+
+
+def bind_pool_metrics(pool, registry, prefix: str = "farm/pool") -> None:
+    """Publish a pool's :attr:`last_stats` as gauges under ``farm/*``.
+
+    All bindings are volatile: pool utilization describes the host harness,
+    not the simulated design, and legitimately varies run to run.
+    """
+    def stat(name):
+        return lambda: getattr(pool.last_stats, name)
+
+    registry.bind(f"{prefix}/workers", stat("n_workers"), volatile=True)
+    registry.bind(f"{prefix}/jobs", stat("jobs"), volatile=True)
+    registry.bind(f"{prefix}/elapsed_s", stat("elapsed_seconds"), volatile=True)
+    registry.bind(
+        f"{prefix}/queue_high_water", stat("queue_high_water"), volatile=True
+    )
+    registry.bind(f"{prefix}/respawns", stat("respawns"), volatile=True)
+    registry.bind(
+        f"{prefix}/mean_utilization",
+        lambda: pool.last_stats.mean_utilization,
+        volatile=True,
+    )
+
+
 def _execute(job: Job, attempt: int, worker: str) -> PoolOutcome:
     """Run one job in the current process, timing it and trapping errors."""
     os.environ[_ATTEMPT_ENV] = str(attempt)
@@ -143,9 +206,17 @@ class SerialPool:
         self.default_timeout_s = default_timeout_s
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
+        self.last_stats = PoolStats(n_workers=1)
 
     def run(self, jobs: Sequence[Job]) -> List[PoolOutcome]:
-        return [_execute(job, 1, "serial") for job in jobs]
+        t0 = time.monotonic()
+        outcomes = [_execute(job, 1, "serial") for job in jobs]
+        stats = PoolStats(n_workers=1, jobs=len(jobs))
+        stats.elapsed_seconds = time.monotonic() - t0
+        stats.busy_seconds["serial"] = sum(o.wall_seconds for o in outcomes)
+        stats.dispatched["serial"] = len(jobs)
+        self.last_stats = stats
+        return outcomes
 
 
 @dataclass
@@ -219,6 +290,7 @@ class WorkerPool:
         self.max_attempts = max(max_attempts, 1)
         self.backoff_base_s = backoff_base_s
         self._ctx = multiprocessing_context()
+        self.last_stats = PoolStats(n_workers=n_workers)
 
     # ---------------------------------------------------------- lifecycle
     def _spawn(self, worker_id: str) -> _Slot:
@@ -270,6 +342,9 @@ class WorkerPool:
         outcomes: Dict[int, PoolOutcome] = {}
         tasks: Dict[int, _Task] = {}
         ready: deque = deque()  # seqs awaiting dispatch
+        t0 = time.monotonic()
+        stats = PoolStats(n_workers=self.n_workers, jobs=len(jobs))
+        self.last_stats = stats
 
         for seq, job in enumerate(jobs):
             tasks[seq] = _Task(seq, job)
@@ -279,8 +354,15 @@ class WorkerPool:
                 # Graceful degradation: closures and other unpicklable
                 # payloads run in this process.
                 outcomes[seq] = _execute(job, 1, "inline")
+                out = outcomes[seq]
+                stats.busy_seconds["inline"] = (
+                    stats.busy_seconds.get("inline", 0.0) + out.wall_seconds
+                )
+                stats.dispatched["inline"] = stats.dispatched.get("inline", 0) + 1
+        stats.queue_high_water = len(ready)
 
         if len(outcomes) == len(jobs):
+            stats.elapsed_seconds = time.monotonic() - t0
             return [outcomes[seq] for seq in range(len(jobs))]
 
         slots = [self._spawn(f"w{i}") for i in range(min(self.n_workers, len(ready)))]
@@ -304,6 +386,10 @@ class WorkerPool:
                             outcome.attempts = tasks[seq].attempts
                             outcome.crashes = tasks[seq].crashes
                             outcomes[seq] = outcome
+                            stats.busy_seconds[outcome.worker] = (
+                                stats.busy_seconds.get(outcome.worker, 0.0)
+                                + outcome.wall_seconds
+                            )
                         progressed = True
 
                 # 2. Deadline and liveness policing.
@@ -320,6 +406,7 @@ class WorkerPool:
                         self._discard(slot)
                         slots[i] = self._spawn(f"w{next_worker}")
                         next_worker += 1
+                        stats.respawns += 1
                         task.crashes += 1
                         if task.attempts >= self.max_attempts:
                             error = f"worker crashed on all {task.attempts} attempts"
@@ -345,6 +432,7 @@ class WorkerPool:
                         self._discard(slot, kill=True)
                         slots[i] = self._spawn(f"w{next_worker}")
                         next_worker += 1
+                        stats.respawns += 1
                         timeout = self._timeout_of(task.job) or 0.0
                         outcomes[task.seq] = PoolOutcome(
                             ok=False,
@@ -371,8 +459,12 @@ class WorkerPool:
                     timeout = self._timeout_of(task.job)
                     slot.deadline = now + timeout if timeout else float("inf")
                     slot.inbox.put((seq, task.job, task.attempts))
+                    stats.dispatched[slot.worker_id] = (
+                        stats.dispatched.get(slot.worker_id, 0) + 1
+                    )
                     progressed = True
 
+                stats.queue_high_water = max(stats.queue_high_water, len(ready))
                 if not progressed:
                     time.sleep(_POLL_S)
         finally:
@@ -384,6 +476,7 @@ class WorkerPool:
             for slot in slots:
                 slot.process.join(timeout=1.0)
                 self._discard(slot, kill=True)
+            stats.elapsed_seconds = time.monotonic() - t0
 
         return [outcomes[seq] for seq in range(len(jobs))]
 

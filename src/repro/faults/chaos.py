@@ -34,6 +34,27 @@ from repro.sim import DeadlockError
 MODES: Tuple[str, ...] = ("naive", "fast_forward", "selective", "compiled")
 SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6", "serving")
 
+#: Sharded-simulation modes (see :mod:`repro.dist`).  These are a separate
+#: family from ``MODES``: command timing legitimately differs from the
+#: single-process build (proxied cores add SLR-crossing hops), so the
+#: identity contract for dist runs is *engine-internal* — ``dist:serial``
+#: and ``dist:fork`` of the same seed must agree bit-for-bit — rather than
+#: cross-mode with the scheduling backends.  Only scenarios whose designs
+#: have SLR-crossing memory pipes support them (memcpy; the DelayCore-based
+#: fig6/serving scenarios have no memory network and therefore no cut
+#: points).
+DIST_MODES: Tuple[str, ...] = ("dist", "dist:serial", "dist:fork")
+
+
+def _mode_build_args(mode: str) -> Dict[str, object]:
+    """Map a chaos mode name to ``BeethovenBuild`` keyword arguments."""
+    if mode in DIST_MODES:
+        from repro.dist import DistConfig
+
+        _, _, engine = mode.partition(":")
+        return {"distributed": DistConfig(n_workers=2, engine=engine or "auto")}
+    return {"scheduling": mode}
+
 #: Outcomes the robustness contract allows.
 GOOD_OUTCOMES = ("ok", "degraded", "error")
 
@@ -117,6 +138,16 @@ def _classify(handle, errors: List[str], corrupt: bool, unexpected: str = "") ->
 def _outcome(scenario, mode, seed, handle, outcome, error) -> ChaosOutcome:
     server = handle.server
     faults = handle.faults
+    # Sharded runs absorb partition fault events at slice barriers, so the
+    # *arrival order* of events differs from a single-process run even when
+    # the event multiset is identical; the canonical (sorted) fingerprint is
+    # the order-independent identity dist engines are compared under.
+    if faults is None:
+        fingerprint = ""
+    elif mode in DIST_MODES:
+        fingerprint = faults.canonical_fingerprint()
+    else:
+        fingerprint = faults.fingerprint()
     return ChaosOutcome(
         scenario=scenario,
         mode=mode,
@@ -125,7 +156,7 @@ def _outcome(scenario, mode, seed, handle, outcome, error) -> ChaosOutcome:
         error=error,
         cycles=handle.design.sim.cycle,
         n_faults=len(faults.events) if faults is not None else 0,
-        fingerprint=faults.fingerprint() if faults is not None else "",
+        fingerprint=fingerprint,
         timeouts=int(server.timeouts),
         retries=int(server.retries),
         quarantines=int(server.quarantines),
@@ -142,20 +173,25 @@ def run_memcpy_chaos(
 ) -> ChaosOutcome:
     """Memcpy through the full stack (host -> MMIO -> cores -> DRAM) under
     a seeded fault schedule; one command per core so quarantine-and-reroute
-    can finish the work on the surviving core."""
+    can finish the work on the surviving core.
+
+    Under a ``dist`` mode the same workload runs on a synthetic multi-die
+    device (so SLR-crossing pipes exist for the partitioner to cut),
+    sharded over two workers."""
     from repro.core.build import BeethovenBuild
     from repro.kernels.memcpy import memcpy_config
-    from repro.platforms import AWSF1Platform
+    from repro.platforms import AWSF1Platform, multi_die_platform
     from repro.runtime import FpgaHandle
 
     plan = plan if plan is not None else default_plan(seed)
     size, n_cores = 1024, 2
+    platform = multi_die_platform(2) if mode in DIST_MODES else AWSF1Platform()
     build = BeethovenBuild(
         memcpy_config(n_cores=n_cores),
-        AWSF1Platform(),
-        scheduling=mode,
+        platform,
         faults=plan,
         watchdog=watchdog or CHAOS_WATCHDOG,
+        **_mode_build_args(mode),
     )
     handle = FpgaHandle(build.design)
     pattern = bytes((i * 131 + 17 + seed) % 256 for i in range(size))
@@ -188,7 +224,9 @@ def run_memcpy_chaos(
     except Exception as exc:  # noqa: BLE001 — untyped escape = violation
         unexpected = f"{type(exc).__name__}: {exc}"
     outcome, error = _classify(handle, errors, corrupt, unexpected)
-    return _outcome("memcpy", mode, seed, handle, outcome, error)
+    result = _outcome("memcpy", mode, seed, handle, outcome, error)
+    getattr(build.design.sim, "shutdown", lambda: None)()
+    return result
 
 
 def run_fig6_chaos(
@@ -205,6 +243,11 @@ def run_fig6_chaos(
     from repro.platforms import AWSF1Platform
     from repro.runtime import FpgaHandle
 
+    if mode in DIST_MODES:
+        raise ValueError(
+            "fig6 chaos cannot run sharded: DelayCore declares no memory "
+            "channels, so the design has no SLR bridges to partition at"
+        )
     plan = plan if plan is not None else default_plan(seed)
     n_cores, rounds = 3, 2
     build = BeethovenBuild(
@@ -269,6 +312,11 @@ def run_serving_chaos(
     from repro.serve.service import AcceleratorService
     from repro.serve.tenant import TenantConfig
 
+    if mode in DIST_MODES:
+        raise ValueError(
+            "serving chaos cannot run sharded: its delay-core design has "
+            "no memory network, so there are no SLR bridges to partition at"
+        )
     plan = plan if plan is not None else default_plan(seed)
     build = hetero_build(
         mode=mode, faults=plan, watchdog=watchdog or CHAOS_WATCHDOG
@@ -390,12 +438,20 @@ def _run_fixed_memcpy(mode: str, faults: Optional[FaultPlan]):
     """Fixed memcpy workload returning (stable metrics, final cycle, ok)."""
     from repro.core.build import BeethovenBuild
     from repro.kernels.memcpy import memcpy_config
-    from repro.platforms import AWSF1Platform
+    from repro.platforms import AWSF1Platform, multi_die_platform
     from repro.runtime import FpgaHandle
 
     size = 2048
+    if mode in DIST_MODES:
+        platform = multi_die_platform(2)
+        n_cores = 2  # sharding needs at least one core per die
+    else:
+        platform, n_cores = AWSF1Platform(), 1
     build = BeethovenBuild(
-        memcpy_config(n_cores=1), AWSF1Platform(), scheduling=mode, faults=faults
+        memcpy_config(n_cores=n_cores),
+        platform,
+        faults=faults,
+        **_mode_build_args(mode),
     )
     handle = FpgaHandle(build.design)
     src, dst = handle.malloc(size), handle.malloc(size)
@@ -407,7 +463,9 @@ def _run_fixed_memcpy(mode: str, faults: Optional[FaultPlan]):
     ).get(max_cycles=500_000)
     handle.copy_from_fpga(dst)
     metrics = build.design.metrics(stable_only=True)
-    return metrics, build.design.sim.cycle, dst.read() == pattern
+    cycle = build.design.sim.cycle
+    getattr(build.design.sim, "shutdown", lambda: None)()
+    return metrics, cycle, dst.read() == pattern
 
 
 def run_empty_plan_differential(mode: str) -> Dict[str, object]:

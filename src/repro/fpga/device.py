@@ -114,6 +114,23 @@ def make_vu9p_aws_f1() -> FpgaDevice:
     )
 
 
+def make_multi_die(n_slrs: int, name: str = "") -> FpgaDevice:
+    """A synthetic ``n_slrs``-die device of VU9P-class SLRs.
+
+    Interfaces stay on SLR0 (the common Alveo arrangement), so every other
+    die reaches memory through an SLR-crossing pipe — the topology the
+    sharded-simulation benchmarks partition along.
+    """
+    if n_slrs < 1:
+        raise ValueError("a device needs at least one SLR")
+    return FpgaDevice(
+        name=name or f"multi-die-{n_slrs}",
+        slr_capacity=[_vu9p_slr() for _ in range(n_slrs)],
+        memory_interface_slr=0,
+        host_interface_slr=0,
+    )
+
+
 def make_kria_k26() -> FpgaDevice:
     """The Kria KV260 (Zynq UltraScale+ K26 SOM): a single-die device."""
     return FpgaDevice(

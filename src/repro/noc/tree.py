@@ -31,6 +31,13 @@ class BuiltNetwork:
     depth: int = 0
     max_fanout: int = 0
     nodes_per_slr: Dict[int, int] = field(default_factory=dict)
+    # SLR placement records, consumed by the distributed partitioner
+    # (repro.dist): which die each network component / interior port lives
+    # on, and for each AxiPipe the (upstream slr, downstream slr) pair it
+    # spans.  Keyed by id() — the objects themselves are the identity.
+    component_slr: Dict[int, int] = field(default_factory=dict)
+    port_slr: Dict[int, int] = field(default_factory=dict)
+    pipe_sides: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     def register_with(self, sim) -> None:
         # Interior-port channels are registered after the node components
@@ -100,6 +107,8 @@ class TreeBuilder:
             node = AxiBufferNode(list(group), down, child_id_bits, self._fresh_name(f"{prefix}.n"))
             net.components.append(node)
             net.interior_ports.append(down)
+            net.component_slr[id(node)] = slr
+            net.port_slr[id(down)] = slr
             net.n_nodes += 1
             net.max_fanout = max(net.max_fanout, len(group))
             net.nodes_per_slr[slr] = net.nodes_per_slr.get(slr, 0) + 1
@@ -150,6 +159,10 @@ class TreeBuilder:
                     )
                     net.components.append(pipe)
                     net.interior_ports.append(bridged)
+                    # The bridged (downstream) port lives on the root die;
+                    # the pipe itself spans the crossing.
+                    net.port_slr[id(bridged)] = root_slr
+                    net.pipe_sides[id(pipe)] = (slr, root_slr)
                     net.n_pipes += 1
                     net.n_crossings += abs(slr - root_slr)
                     sub_port = bridged
@@ -170,6 +183,8 @@ class TreeBuilder:
                 node = AxiBufferNode(ports, root_port, child_id_bits, "flatnode")
                 net.components.append(node)
                 net.interior_ports.append(root_port)
+                net.component_slr[id(node)] = root_slr
+                net.port_slr[id(root_port)] = root_slr
                 net.n_nodes += 1
                 net.max_fanout = len(ports)
                 net.depth = 1
@@ -177,4 +192,5 @@ class TreeBuilder:
                 root_port = ports[0]
         compressor = IdCompressor(root_port, target, self._fresh_name("idmap"))
         net.components.append(compressor)
+        net.component_slr[id(compressor)] = root_slr
         return net

@@ -57,6 +57,7 @@ _LOWER_BETTER = (
     "mean_latency",
     "mean_queue_wait",
     "rejection_rate",
+    "sync_stall_cycles",
 )
 #: Leaf names that are plain event counts, not perf metrics — excluded
 #: before fragment matching because some collide with a fragment

@@ -8,7 +8,11 @@ from repro.platforms.asic_platforms import (
     SynopsysPdkPlatform,
 )
 from repro.platforms.base import HostInterface, Platform, kernel_mode
-from repro.platforms.fpga_platforms import AWSF1Platform, KriaPlatform
+from repro.platforms.fpga_platforms import (
+    AWSF1Platform,
+    KriaPlatform,
+    multi_die_platform,
+)
 
 __all__ = [
     "Platform",
@@ -16,6 +20,7 @@ __all__ = [
     "kernel_mode",
     "AWSF1Platform",
     "KriaPlatform",
+    "multi_die_platform",
     "Asap7Platform",
     "AsicPlatform",
     "ChipKitPlatform",

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.axi.types import AxiParams
 from repro.dram.timing import DDR4_AWS_F1, LPDDR4_KRIA
-from repro.fpga.device import make_kria_k26, make_vu9p_aws_f1
+from repro.fpga.device import make_kria_k26, make_multi_die, make_vu9p_aws_f1
 from repro.memory.reader import ReaderTuning
 from repro.memory.writer import WriterTuning
 from repro.noc.tree import TreeConfig
@@ -36,6 +38,30 @@ def AWSF1Platform(clock_mhz: float = 250.0) -> Platform:
         memory_bytes=16 * 2**30,
         reader_tuning=ReaderTuning(max_txn_beats=64, n_axi_ids=4, max_in_flight=4),
         writer_tuning=WriterTuning(max_txn_beats=64, n_axi_ids=4, max_in_flight=4),
+    )
+
+
+def multi_die_platform(
+    n_slrs: int = 4,
+    slr_crossing_latency: int = 8,
+    clock_mhz: float = 250.0,
+) -> Platform:
+    """An F1-style discrete platform on a synthetic ``n_slrs``-die device.
+
+    The deeper SLR-crossing pipelining (default 8 cycles vs F1's 4) is an
+    honest platform parameter — very large multi-die parts need it to close
+    timing — and it doubles as the sharded simulator's lookahead window: the
+    conservative slice width equals the minimum bridge latency, so deeper
+    crossings mean fewer synchronization barriers per simulated cycle.
+    """
+    base = AWSF1Platform(clock_mhz=clock_mhz)
+    return dataclasses.replace(
+        base,
+        name=f"multi-die-{n_slrs}",
+        tree_config=dataclasses.replace(
+            base.tree_config, slr_crossing_latency=slr_crossing_latency
+        ),
+        device=make_multi_die(n_slrs),
     )
 
 

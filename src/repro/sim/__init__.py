@@ -7,6 +7,7 @@ from repro.sim.kernel import (
     ChannelQueue,
     Component,
     DeadlockError,
+    PartitionSyncTimeout,
     SimulationError,
     Simulator,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "Component",
     "DeadlockError",
     "NEVER",
+    "PartitionSyncTimeout",
     "SCHEDULING_MODES",
     "SimulationError",
     "Simulator",

@@ -33,6 +33,7 @@ from repro.faults import FaultError
 from repro.sim import DeadlockError
 from repro.faults.chaos import (
     CHAOS_WATCHDOG,
+    DIST_MODES,
     MODES,
     SCENARIOS,
     default_plan,
@@ -97,7 +98,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenarios", nargs="+", default=list(SCENARIOS), choices=SCENARIOS
     )
-    parser.add_argument("--modes", nargs="+", default=list(MODES), choices=MODES)
+    parser.add_argument(
+        "--modes",
+        nargs="+",
+        default=list(MODES),
+        choices=MODES + DIST_MODES,
+        help="scheduling modes and/or sharded modes (dist modes only support "
+        "scenarios with memory networks, e.g. memcpy)",
+    )
     parser.add_argument("--out", default="chaos-artifacts", help="output directory")
     parser.add_argument(
         "--workers", type=int, default=0, help=">1 shards the sweep over a farm pool"
