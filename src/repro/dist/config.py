@@ -40,12 +40,23 @@ class DistConfig:
     * ``barrier_timeout_s`` — wall-clock budget a worker gets to reach each
       slice barrier before the supervisor raises
       :class:`repro.sim.PartitionSyncTimeout`.
+    * ``checkpoint_every_slices`` — with a positive value the fork engine
+      collects a barrier-aligned checkpoint of every partition each N slices
+      and *arms worker failover*: a worker that dies, errors, or misses the
+      barrier deadline is respawned and the whole simulation rolls back to
+      the last checkpoint instead of raising a terminal
+      :class:`repro.sim.PartitionSyncTimeout`.  ``0`` (the default) keeps
+      the historical fail-fast behaviour.
+    * ``max_restarts`` — worker-failover budget for one run; exhausted
+      budget (or a failure before the first checkpoint) fails terminally.
     """
 
     n_workers: int = 2
     slice_width: Optional[int] = None
     engine: str = "auto"
     barrier_timeout_s: float = 60.0
+    checkpoint_every_slices: int = 0
+    max_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.n_workers < 2:
@@ -56,3 +67,7 @@ class DistConfig:
             )
         if self.slice_width is not None and self.slice_width < 1:
             raise DistError("slice_width must be >= 1 when given")
+        if self.checkpoint_every_slices < 0:
+            raise DistError("checkpoint_every_slices must be >= 0")
+        if self.max_restarts < 0:
+            raise DistError("max_restarts must be >= 0")

@@ -36,7 +36,30 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.dist.config import DistConfig, DistError
 from repro.dist.partition import PartitionPlan
 from repro.farm.pool import _POLL_S, multiprocessing_context
-from repro.sim import DeadlockError, PartitionSyncTimeout, render_deadlock_report
+from repro.sim import (
+    DeadlockError,
+    PartitionSyncTimeout,
+    compact_state_dump,
+    render_deadlock_report,
+)
+from repro.snapshot.engine import capture_partition_state, restore_partition_state
+
+
+class _WorkerFailure(Exception):
+    """Internal: a recoverable worker failure detected at a slice barrier.
+
+    Raised by ``_fail_partition`` instead of the terminal
+    :class:`PartitionSyncTimeout` while checkpoint-armed failover can still
+    roll the run back; carries everything the terminal path would need if
+    the restart budget runs out mid-recovery.
+    """
+
+    def __init__(self, child, message: str, status: str, child_dump=None) -> None:
+        super().__init__(message)
+        self.child = child
+        self.message = message
+        self.status = status
+        self.child_dump = child_dump
 
 
 def _fork_available() -> bool:
@@ -204,6 +227,12 @@ def _child_main(pid, sim, bridges, fault_state, conn, stderr_path) -> None:
                 conn.send(("dumped", pid, part_dump, stable_keys))
             elif kind == "state":
                 conn.send(("stated", pid, sim.state_dump()))
+            elif kind == "snap":
+                conn.send(("snapped", pid, capture_partition_state(sim, fault_state)))
+            elif kind == "restore":
+                _kind, payload = msg
+                restore_partition_state(sim, payload, fault_state)
+                conn.send(("restored", pid))
             else:  # pragma: no cover — protocol drift guard
                 raise RuntimeError(f"unknown supervisor message {kind!r}")
         except Exception:
@@ -290,6 +319,13 @@ class DistSimulator:
         self._barriers = 0
         self._items_shipped = 0
         self.barrier_wait_s = 0.0
+        # Barrier-aligned checkpoint (cycle, root payload, worker payloads,
+        # pending inbound deltas) + failover bookkeeping.
+        self._checkpoint: Optional[Dict[str, Any]] = None
+        self._checkpoints = 0
+        self._restarts = 0
+        self.checkpoint_write_s = 0.0
+        self._in_slice = False
         self.registry = MergedRegistry(self)
         # All dist/* metrics are volatile: they describe the execution
         # harness, not the modeled hardware, and differ across engines and
@@ -301,6 +337,9 @@ class DistSimulator:
         scope.bind("barriers", lambda: self._barriers, volatile=True)
         scope.bind("items_shipped", lambda: self._items_shipped, volatile=True)
         scope.bind("barrier_wait_s", lambda: self.barrier_wait_s, volatile=True)
+        scope.bind("checkpoints", lambda: self._checkpoints, volatile=True)
+        scope.bind("restarts", lambda: self._restarts, volatile=True)
+        scope.bind("checkpoint_write_s", lambda: self.checkpoint_write_s, volatile=True)
 
     # --------------------------------------------------- simulator surface
     @property
@@ -347,18 +386,128 @@ class DistSimulator:
 
     # ------------------------------------------------------------ slice loop
     def _advance(self, n: int) -> None:
+        """Advance ``n`` cycles, in at most ``slice_width`` steps.
+
+        ``target`` is absolute: a recoverable worker failure rolls every
+        partition back to the last checkpoint (possibly several slices), and
+        the loop then re-advances to the same barrier the call was headed
+        for — so callers (and ``until`` evaluation in :meth:`run`) observe
+        identical barrier cycles whether or not a recovery happened.
+        Determinism makes skipping ``until`` checks on re-advanced slices
+        sound: the pre-kill execution already passed those barriers with the
+        predicate false.
+        """
         if self._broken is not None:
             raise self._broken
-        if self.engine == "serial":
-            for sim in self.sims:
-                sim.run_slice(n)
-        else:
-            self._advance_fork(n)
-        self._slices += 1
-        self._barriers += 1
-        cycles = {sim.cycle for sim in self.sims} if self.engine == "serial" else None
-        if cycles is not None and len(cycles) != 1:
-            raise DistError(f"partition cycle skew after slice: {sorted(cycles)}")
+        target = self.cycle + n
+        while self.cycle < target:
+            step = min(self.slice_width, target - self.cycle)
+            self._in_slice = True
+            try:
+                if self.engine == "serial":
+                    for sim in self.sims:
+                        sim.run_slice(step)
+                else:
+                    self._advance_fork(step)
+                self._slices += 1
+                self._barriers += 1
+                if self.engine == "serial":
+                    cycles = {sim.cycle for sim in self.sims}
+                    if len(cycles) != 1:
+                        raise DistError(
+                            f"partition cycle skew after slice: {sorted(cycles)}"
+                        )
+                self._maybe_checkpoint()
+            except _WorkerFailure as failure:
+                self._recover(failure)
+            finally:
+                self._in_slice = False
+
+    # ----------------------------------------------------- checkpoint/failover
+    def _recovery_armed(self) -> bool:
+        """Turn a worker failure into a rollback instead of a terminal error?
+
+        Only at slice barriers (dump/state collection has per-child protocol
+        state a rollback could not rewind), only with a checkpoint to roll
+        back to, and only while the restart budget lasts.
+        """
+        return (
+            self._in_slice
+            and self.engine == "fork"
+            and self._checkpoint is not None
+            and self._restarts < self.config.max_restarts
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.config.checkpoint_every_slices
+        if every <= 0 or self.engine != "fork" or self._slices % every:
+            return
+        import copy
+
+        t0 = time.perf_counter()
+        payloads: Dict[int, Any] = {}
+        for child in self._children:
+            self._send(child, ("snap",))
+        for child in self._children:
+            _kind, pid, payload = self._collect(child, "snapped")
+            payloads[pid] = payload
+        self._checkpoint = {
+            "cycle": self.root.cycle,
+            "root": capture_partition_state(self.root, self.fault_state),
+            "workers": payloads,
+            # Deltas routed but not yet delivered ride the checkpoint too.
+            "inbound": copy.deepcopy(self._inbound),
+        }
+        self._checkpoints += 1
+        self.checkpoint_write_s += time.perf_counter() - t0
+
+    def _recover(self, failure: _WorkerFailure) -> None:
+        while True:
+            if self._checkpoint is None or self._restarts >= self.config.max_restarts:
+                self._fail_terminal(
+                    failure.child, failure.message, failure.status, failure.child_dump
+                )
+            self._restarts += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.root.cycle,
+                    "dist",
+                    "worker_restart",
+                    {
+                        "partition": failure.child.pid,
+                        "status": failure.status,
+                        "restart": self._restarts,
+                        "rollback_to": self._checkpoint["cycle"],
+                    },
+                )
+            try:
+                self._restore_from_checkpoint()
+                return
+            except _WorkerFailure as nxt:
+                failure = nxt
+
+    def _restore_from_checkpoint(self) -> None:
+        """Roll every partition back to the last barrier checkpoint.
+
+        The supervisor's ``sims[1..]`` copies never advance after the fork,
+        so killing the old workers and re-forking hands each fresh worker a
+        pristine pre-fork partition; the checkpoint payload then overwrites
+        its mutable state.  The supervisor's own fault state is restored
+        *before* the re-fork so new workers inherit it and their
+        ``begin_partition_feed()`` marks line up with the restored payload.
+        """
+        import copy
+
+        ck = self._checkpoint
+        self.shutdown()
+        self._forked = False
+        restore_partition_state(self.root, ck["root"], self.fault_state)
+        self._inbound = copy.deepcopy(ck["inbound"])
+        self._ensure_forked()
+        for child in self._children:
+            self._send(child, ("restore", ck["workers"][child.pid]))
+        for child in self._children:
+            self._collect(child, "restored")
 
     def _advance_fork(self, n: int) -> None:
         self._ensure_forked()
@@ -510,13 +659,23 @@ class DistSimulator:
             return ""
 
     def _fail_partition(self, child, message, status, child_dump=None):
-        dump = self.root.state_dump()
+        if self._recovery_armed():
+            raise _WorkerFailure(child, message, status, child_dump)
+        self._fail_terminal(child, message, status, child_dump)
+
+    def _fail_terminal(self, child, message, status, child_dump=None):
+        # Dumps are bounded before they ride the exception: a large design's
+        # raw state dump (every channel and component of every partition)
+        # can run to megabytes, which no log sink wants embedded in an error.
+        dump = compact_state_dump(self.root.state_dump())
         info: Dict[str, Any] = {"status": status}
         tail = self._stderr_tail(child)
         if tail:
             info["stderr_tail"] = tail
         if child_dump:
-            info["state_dump"] = child_dump
+            info["state_dump"] = compact_state_dump(child_dump)
+        if self._restarts:
+            info["restarts"] = self._restarts
         dump["partitions"] = {child.pid: info}
         exc = PartitionSyncTimeout(message, dump=dump, partition=child.pid)
         self._break(exc)
@@ -574,6 +733,11 @@ class DistSimulator:
 
     def _raise_deadlock(self, max_cycles: int) -> None:
         dump = self.state_dump()
+        dump["partitions"] = {
+            pid: compact_state_dump(pdump) if isinstance(pdump, dict) else pdump
+            for pid, pdump in dump.get("partitions", {}).items()
+        }
+        dump = compact_state_dump(dump)
         message = (
             f"distributed simulation ran {max_cycles} cycles (to cycle "
             f"{self.cycle}) without the completion condition becoming true "

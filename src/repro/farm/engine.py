@@ -78,6 +78,12 @@ class Farm:
     ``registry`` / ``tracer``
         Adopt an existing obs registry/tracer (e.g. a build's) instead of
         farm-private ones; metrics land under ``farm/*`` either way.
+    ``checkpoint_dir``
+        Where resumable jobs (``Job(checkpoint_every=...)``) keep their
+        checkpoint files; defaults to ``<cache root>/checkpoints``.  Paths
+        are content-addressed by job fingerprint *and* snapshot format
+        version, so a host crash mid-sweep resumes from the right file on
+        the next run and a format bump never feeds stale snapshots.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class Farm:
         backoff_base_s: float = 0.05,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.n_workers = default_workers() if n_workers is None else max(int(n_workers), 1)
         if isinstance(cache, ResultCache):
@@ -98,6 +105,9 @@ class Farm:
             self.cache = ResultCache(cache_dir or default_cache_dir())
         else:
             self.cache = None
+        self.checkpoint_dir = checkpoint_dir or os.path.join(
+            cache_dir or default_cache_dir(), "checkpoints"
+        )
         if self.n_workers > 1 and multiprocessing_available():
             self.pool: Any = WorkerPool(
                 self.n_workers, default_timeout_s, max_attempts, backoff_base_s
@@ -117,6 +127,7 @@ class Farm:
         self._m_timeouts = scope.counter("timeouts")
         self._m_crashes = scope.counter("crashes")
         self._m_inline = scope.counter("inline_fallbacks")
+        self._m_resumes = scope.counter("checkpoint_resumes")
         self._m_workers = scope.gauge("workers")
         self._m_workers.set(self.pool.n_workers)
         self._m_wall = scope.histogram("job_wall_seconds", buckets=_WALL_BUCKETS)
@@ -155,8 +166,18 @@ class Farm:
                     continue
             misses.append(i)
 
-        # 2. Shard the misses across the pool.
+        # 2. Shard the misses across the pool.  Resumable jobs get their
+        #    content-addressed checkpoint path assigned here so a retry —
+        #    or a whole re-run after a host crash — finds the same file.
         if misses:
+            from repro.snapshot.store import job_checkpoint_path
+
+            for i in misses:
+                job = jobs[i]
+                if job.checkpoint_every and not job.checkpoint_path:
+                    job.checkpoint_path = job_checkpoint_path(
+                        self.checkpoint_dir, job.fingerprint
+                    )
             outcomes = self.pool.run([jobs[i] for i in misses])
             for i, outcome in zip(misses, outcomes):
                 job = jobs[i]
@@ -172,6 +193,7 @@ class Farm:
                     timed_out=outcome.timed_out,
                     crashes=outcome.crashes,
                     fingerprint=job.fingerprint,
+                    resumed_from_checkpoint=outcome.resumed_from_checkpoint,
                 )
                 if outcome.ok and self.cache is not None and job.cache:
                     self.cache.put(
@@ -219,6 +241,8 @@ class Farm:
                 self._m_crashes.inc(res.crashes)
             if res.worker == "inline":
                 self._m_inline.inc()
+            if res.resumed_from_checkpoint:
+                self._m_resumes.inc()
             # One span per job on the worker's track.  Cache hits render as
             # zero-length markers at the lookup instant.
             dur_us = 0 if res.cache_hit else int(res.wall_seconds * 1e6)

@@ -43,6 +43,16 @@ class Job:
     for jobs defined in library code.  ``timeout_s`` / ``max_attempts``
     default to the pool's settings when ``None``.  ``cache=False`` opts a
     job out of the result cache (e.g. wall-clock measurements).
+
+    ``checkpoint_every`` declares the job *resumable*: job code that honours
+    :func:`repro.snapshot.store.job_checkpoint` checkpoints its state every
+    N units to a content-addressed file the farm assigns (next to the result
+    cache), and a timed-out or crashed attempt is requeued to resume from
+    the last checkpoint instead of restarting — or, for timeouts without a
+    checkpoint, failing outright.  ``checkpoint_path`` is normally assigned
+    by the farm from the job fingerprint; set it explicitly only to pin a
+    location.  Neither field enters the cache fingerprint (they change how a
+    result is computed, never its value).
     """
 
     fn: FnRef
@@ -53,6 +63,8 @@ class Job:
     max_attempts: Optional[int] = None
     cache: bool = True
     partition: Any = None  # sharding descriptor folded into the cache key
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.args = tuple(self.args)
@@ -96,6 +108,9 @@ class JobResult:
     timed_out: bool = False
     crashes: int = 0
     fingerprint: str = ""
+    #: True when the successful attempt restored state from a checkpoint
+    #: file written by an earlier (killed or crashed) attempt.
+    resumed_from_checkpoint: bool = False
 
     @property
     def label(self) -> str:

@@ -68,6 +68,7 @@ class PoolOutcome:
     attempts: int = 1
     timed_out: bool = False
     crashes: int = 0
+    resumed_from_checkpoint: bool = False
 
 
 @dataclass
@@ -137,16 +138,36 @@ def _execute(job: Job, attempt: int, worker: str) -> PoolOutcome:
     """Run one job in the current process, timing it and trapping errors."""
     os.environ[_ATTEMPT_ENV] = str(attempt)
     os.environ[_WORKER_ENV] = worker
+    ckpt_path = getattr(job, "checkpoint_path", None)
+    if ckpt_path:
+        # Resumable job: expose the checkpoint contract through the env so
+        # job code reaches it via ``repro.snapshot.store.job_checkpoint``
+        # regardless of how deep in the call stack the simulation lives.
+        from repro.snapshot.store import CKPT_EVERY_ENV, CKPT_PATH_ENV, consume_resumed_flag
+
+        os.environ[CKPT_PATH_ENV] = ckpt_path
+        os.environ[CKPT_EVERY_ENV] = str(getattr(job, "checkpoint_every", 0) or 0)
+        consume_resumed_flag()  # drop stale state from a previous job
     t0 = time.perf_counter()
     try:
         fn = resolve_fn(job.fn)
         value = fn(*job.args, **job.kwargs)
+        resumed = False
+        if ckpt_path:
+            from repro.snapshot.store import consume_resumed_flag
+
+            resumed = consume_resumed_flag()
+            try:  # success retires the checkpoint file
+                os.unlink(ckpt_path)
+            except OSError:
+                pass
         return PoolOutcome(
             value=value,
             ok=True,
             worker=worker,
             wall_seconds=time.perf_counter() - t0,
             attempts=attempt,
+            resumed_from_checkpoint=resumed,
         )
     except Exception as exc:  # noqa: BLE001 — job errors become data
         # Ship the traceback with the message: the supervisor (often on
@@ -161,6 +182,12 @@ def _execute(job: Job, attempt: int, worker: str) -> PoolOutcome:
             wall_seconds=time.perf_counter() - t0,
             attempts=attempt,
         )
+    finally:
+        if ckpt_path:
+            from repro.snapshot.store import CKPT_EVERY_ENV, CKPT_PATH_ENV
+
+            os.environ.pop(CKPT_PATH_ENV, None)
+            os.environ.pop(CKPT_EVERY_ENV, None)
 
 
 def _worker_main(worker_id: str, inbox, outbox, stderr_path: Optional[str] = None) -> None:
@@ -408,7 +435,7 @@ class WorkerPool:
                         next_worker += 1
                         stats.respawns += 1
                         task.crashes += 1
-                        if task.attempts >= self.max_attempts:
+                        if task.attempts >= self._attempts_of(task.job):
                             error = f"worker crashed on all {task.attempts} attempts"
                             if task.last_stderr:
                                 error += (
@@ -427,22 +454,36 @@ class WorkerPool:
                             ready.append(task.seq)
                         progressed = True
                     elif now >= slot.deadline:
-                        # Hung job: kill the worker, fail the job, respawn the
-                        # slot so siblings keep flowing.
+                        # Hung job: kill the worker and respawn the slot so
+                        # siblings keep flowing.  A resumable job with a
+                        # checkpoint on disk and attempts remaining is
+                        # requeued (the retry resumes from the checkpoint,
+                        # so its deadline only has to cover the *remaining*
+                        # work); anything else fails immediately.
                         self._discard(slot, kill=True)
                         slots[i] = self._spawn(f"w{next_worker}")
                         next_worker += 1
                         stats.respawns += 1
                         timeout = self._timeout_of(task.job) or 0.0
-                        outcomes[task.seq] = PoolOutcome(
-                            ok=False,
-                            error=f"timed out after {timeout:.1f}s",
-                            worker=slot.worker_id,
-                            wall_seconds=timeout,
-                            attempts=task.attempts,
-                            timed_out=True,
-                            crashes=task.crashes,
-                        )
+                        ckpt = getattr(task.job, "checkpoint_path", None)
+                        if (
+                            ckpt
+                            and os.path.exists(ckpt)
+                            and task.attempts < self._attempts_of(task.job)
+                        ):
+                            backoff = self.backoff_base_s * (2 ** (task.attempts - 1))
+                            task.eligible_at = now + backoff
+                            ready.append(task.seq)
+                        else:
+                            outcomes[task.seq] = PoolOutcome(
+                                ok=False,
+                                error=f"timed out after {timeout:.1f}s",
+                                worker=slot.worker_id,
+                                wall_seconds=timeout,
+                                attempts=task.attempts,
+                                timed_out=True,
+                                crashes=task.crashes,
+                            )
                         progressed = True
 
                 # 3. Hand eligible tasks to idle workers.
@@ -483,6 +524,9 @@ class WorkerPool:
     # ------------------------------------------------------------- helpers
     def _timeout_of(self, job: Job) -> Optional[float]:
         return job.timeout_s if job.timeout_s is not None else self.default_timeout_s
+
+    def _attempts_of(self, job: Job) -> int:
+        return job.max_attempts if job.max_attempts is not None else self.max_attempts
 
     @staticmethod
     def _pop_eligible(ready: deque, tasks: Dict[int, _Task], now: float) -> Optional[int]:

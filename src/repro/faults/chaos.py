@@ -32,7 +32,7 @@ from repro.runtime.server import WatchdogConfig
 from repro.sim import DeadlockError
 
 MODES: Tuple[str, ...] = ("naive", "fast_forward", "selective", "compiled")
-SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6", "serving")
+SCENARIOS: Tuple[str, ...] = ("memcpy", "fig6", "serving", "checkpoint")
 
 #: Sharded-simulation modes (see :mod:`repro.dist`).  These are a separate
 #: family from ``MODES``: command timing legitimately differs from the
@@ -358,10 +358,60 @@ def run_serving_chaos(
     return _outcome("serving", mode, seed, handle, outcome, error)
 
 
+def run_checkpoint_chaos(
+    seed: int,
+    mode: str,
+    plan: Optional[FaultPlan] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+) -> ChaosOutcome:
+    """SIGKILL a checkpointed run at a seeded point, resume it, and demand
+    bit-identity with an uninterrupted reference (tested under the standard
+    seeded fault plan).
+
+    Single-process modes kill the whole process and resume from the snapshot
+    file; ``dist:fork`` kills one worker and relies on barrier-checkpoint
+    failover.  The differential itself runs under the scenario's own plan
+    and watchdog (they are part of its deterministic identity), so ``plan``/
+    ``watchdog`` overrides are rejected rather than silently ignored.
+    """
+    import tempfile
+
+    from repro.snapshot.scenario import kill_and_resume_differential
+
+    if plan is not None or watchdog is not None:
+        raise ValueError(
+            "checkpoint chaos pins its own fault plan and watchdog; "
+            "override the seed instead"
+        )
+    if mode in DIST_MODES and mode != "dist:fork":
+        raise ValueError(
+            f"checkpoint chaos needs worker processes to kill; use "
+            f"'dist:fork' or one of {MODES} (got {mode!r})"
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-chaos-") as workdir:
+        result = kill_and_resume_differential(seed, mode, workdir)
+    return ChaosOutcome(
+        scenario="checkpoint",
+        mode=mode,
+        seed=seed,
+        outcome=result["outcome"],
+        error=result["error"],
+        cycles=result["cycles"],
+        n_faults=result["n_faults"],
+        fingerprint=result["fingerprint"],
+        timeouts=result["timeouts"],
+        retries=result["retries"],
+        quarantines=result["quarantines"],
+        rerouted=result["rerouted"],
+        late_responses=result["late_responses"],
+    )
+
+
 _SCENARIO_FNS: Dict[str, Callable[..., ChaosOutcome]] = {
     "memcpy": run_memcpy_chaos,
     "fig6": run_fig6_chaos,
     "serving": run_serving_chaos,
+    "checkpoint": run_checkpoint_chaos,
 }
 
 

@@ -58,11 +58,13 @@ _LOWER_BETTER = (
     "mean_queue_wait",
     "rejection_rate",
     "sync_stall_cycles",
+    "checkpoint_write_seconds",
+    "restore_seconds",
 )
 #: Leaf names that are plain event counts, not perf metrics — excluded
 #: before fragment matching because some collide with a fragment
 #: (``rejected_by_reason.rate_limited`` contains ``rate``).
-_NEUTRAL = ("rate_limited", "queue_full", "memory_budget")
+_NEUTRAL = ("rate_limited", "queue_full", "memory_budget", "restarts")
 
 
 def flatten_numeric(obj: Any, prefix: str = "") -> Dict[str, float]:

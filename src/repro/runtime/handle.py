@@ -205,6 +205,14 @@ class FpgaHandle:
         self.faults = getattr(design, "faults", None)
         design.sim.add(self.server)
         self.dma_cycles_spent = 0
+        # uid -> {"ctx", "fut", "make_cb"} for every call() issued through
+        # this handle.  The snapshot layer serialises in-flight commands by
+        # uid; on restore (after the host-side setup has been replayed so
+        # the uids line up) it resolves them back to the live context and
+        # future and rebuilds the response callback via make_cb.
+        self._calls: Dict[int, Dict[str, object]] = {}
+        self._call_uid = 0
+        self.server._host_calls = self._calls
 
     # ------------------------------------------------------------ memory API
     def malloc(self, n_bytes: int) -> RemotePtr:
@@ -331,6 +339,16 @@ class FpgaHandle:
             tenant=_tenant, batch=_batch,
         )
         ctx.on_error = handle._fail
+        self._call_uid += 1
+        ctx.uid = self._call_uid
+        self._calls[ctx.uid] = {
+            "ctx": ctx,
+            "fut": handle,
+            "make_cb": lambda: self._make_on_response(
+                system, io_index, io, core_idx, dict(fields), handle, ctx,
+                _client, _tenant, _batch,
+            ),
+        }
         self._submit_command(
             system, io_index, io, core_idx, dict(fields), handle, ctx, _client,
             tenant=_tenant, batch=_batch,
@@ -346,6 +364,45 @@ class FpgaHandle:
         routed = self._route_core(system, core_idx)
         ctx.key = (system.system_id, routed)
         chunks = io.command_spec.pack(fields, design.platform.addr_bits)
+        on_response = self._make_on_response(
+            system, io_index, io, core_idx, fields, handle, ctx, client,
+            tenant, batch,
+        )
+        for i, (rs1, rs2) in enumerate(chunks):
+            last = i == len(chunks) - 1
+            inst = RoccInstruction(
+                system_id=system.system_id,
+                core_id=routed,
+                funct7=io_index,
+                rs1=rs1,
+                rs2=rs2,
+                xd=last,  # only the completing chunk expects a response
+                rd=1,
+            )
+            self.server.submit(
+                inst,
+                on_response if last else None,
+                design.sim.cycle,
+                client=client,
+                label=ctx.label,
+                ctx=ctx if last else None,
+                tenant=tenant,
+                batch=batch,
+            )
+
+    def _make_on_response(
+        self, system, io_index, io, core_idx, fields, handle, ctx, client,
+        tenant: str = "", batch: Optional[int] = None,
+    ) -> "Callable[[RoccResponse], None]":
+        """Response callback for one logical command.
+
+        Factored out of :meth:`_submit_command` so snapshot restore can
+        rebuild a behaviourally identical callback for a command that was in
+        flight at capture time: every closed-over value is retry-invariant
+        (the routed core only affects the already-encoded command words and
+        ``ctx.key``, both of which the snapshot carries explicitly).
+        """
+        design = self.design
 
         def on_response(resp: RoccResponse) -> None:
             faults = self.faults
@@ -387,27 +444,62 @@ class FpgaHandle:
             handle._note_completion_cycle(design.sim.cycle)
             handle._complete(resp)
 
-        for i, (rs1, rs2) in enumerate(chunks):
-            last = i == len(chunks) - 1
-            inst = RoccInstruction(
-                system_id=system.system_id,
-                core_id=routed,
-                funct7=io_index,
-                rs1=rs1,
-                rs2=rs2,
-                xd=last,  # only the completing chunk expects a response
-                rd=1,
-            )
-            self.server.submit(
-                inst,
-                on_response if last else None,
-                design.sim.cycle,
-                client=client,
-                label=ctx.label,
-                ctx=ctx if last else None,
-                tenant=tenant,
-                batch=batch,
-            )
+        return on_response
+
+    # ----------------------------------------------------------- snapshot
+    def snapshot_state(self, fr) -> Dict[str, object]:
+        """Host-side state for ``repro.snapshot``: allocator, degradation
+        bookkeeping, and the outcome of every command issued so far.
+
+        Futures are addressed by command uid — restore runs after the host
+        setup has been *replayed* against a rebuilt design (recreating the
+        same uids in the same order) and overwrites each future's outcome in
+        place.  Host shadow buffers (:class:`RemotePtr`) are not captured;
+        the replay rewrites them, and device memory is restored through the
+        memory store's component state.
+        """
+        calls = {}
+        for uid, rec in self._calls.items():
+            fut = rec["fut"]
+            calls[uid] = {
+                "response": fr.freeze(fut._response),
+                "error": fr.freeze(fut._error),
+                "submitted_cycle": fut.submitted_cycle,
+                "completed_cycle": getattr(fut, "_completed_cycle", None),
+            }
+        return {
+            "allocator": fr.freeze_attrs(self.allocator),
+            "degraded_cores": sorted(self.degraded_cores),
+            "dma_cycles_spent": self.dma_cycles_spent,
+            "next_client": getattr(self, "_next_client", 0),
+            "calls": calls,
+        }
+
+    def restore_state(self, state: Dict[str, object], th) -> None:
+        th.pair_attrs(self.allocator, state["allocator"])
+        th.thaw_attrs(self.allocator, state["allocator"])
+        self.degraded_cores.clear()
+        self.degraded_cores.update(tuple(k) for k in state["degraded_cores"])
+        self.dma_cycles_spent = state["dma_cycles_spent"]
+        if state["next_client"]:
+            self._next_client = state["next_client"]
+        for uid, st in state["calls"].items():
+            rec = self._calls.get(uid)
+            if rec is None:
+                th.unresolved += 1
+                continue
+            fut = rec["fut"]
+            fut._response = th.thaw(st["response"])
+            fut._error = th.thaw(st["error"])
+            fut.submitted_cycle = st["submitted_cycle"]
+            if st["completed_cycle"] is not None:
+                fut._completed_cycle = st["completed_cycle"]
+            if fut.done:
+                # This outcome fired before the checkpoint: its callback
+                # effects are already part of the restored state (metrics,
+                # counters), so replay-registered callbacks must not fire
+                # again.
+                fut._callbacks = []
 
     # ------------------------------------------------------------- sim plumbing
     def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:

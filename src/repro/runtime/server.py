@@ -76,6 +76,10 @@ class CommandContext:
     attempts: int = 1
     resubmit: Optional[Callable[[], None]] = None
     on_error: Optional[Callable[[Exception], None]] = None
+    #: Command uid assigned by the issuing handle (0 = unregistered).  The
+    #: snapshot layer serialises in-flight commands by uid and resolves them
+    #: back to live contexts/callbacks through the handle's call registry.
+    uid: int = 0
 
 
 @dataclass
@@ -179,6 +183,13 @@ class RuntimeServer(Component):
         # Per-client lock-wait samples (enqueue -> dispatch), for fairness
         # analysis of the round-robin arbiter.
         self.client_lock_waits: Dict[int, List[int]] = {}
+        # uid -> {"ctx", "fut", "make_cb"}; installed by the owning
+        # FpgaHandle so snapshot restore can resolve command uids back to
+        # live contexts and rebuild response callbacks.
+        self._host_calls: Optional[Dict[int, Dict[str, object]]] = None
+        #: Snapshot-restore bookkeeping: uids the last restore could not
+        #: resolve against the call registry (0 on a faithful restore).
+        self._snapshot_unresolved = 0
 
     @property
     def metric_path(self) -> str:
@@ -472,6 +483,175 @@ class RuntimeServer(Component):
             ctx.on_error(err)
         else:
             raise err
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot_state(self, fr) -> Dict[str, object]:
+        """Explicit freeze: response callbacks are *structure* (closures over
+        the handle, the future, the routing tables) and cannot be pickled, so
+        every queued/in-flight command is serialised with its context uid
+        instead; restore resolves uids through the handle's call registry and
+        rebuilds behaviourally identical callbacks."""
+        ctxs: Dict[int, Dict[str, object]] = {}
+
+        def note(ctx: Optional[CommandContext]) -> int:
+            if ctx is None:
+                return 0
+            if ctx.uid:
+                ctxs[ctx.uid] = {"attempts": ctx.attempts, "key": tuple(ctx.key)}
+            return ctx.uid
+
+        def freeze_cmd(cmd: PendingCommand) -> Dict[str, object]:
+            return {
+                "words": list(cmd.words),
+                "key": tuple(cmd.key),
+                "enqueue_cycle": cmd.enqueue_cycle,
+                "client": cmd.client,
+                "dispatch_start": cmd.dispatch_start,
+                "dispatch_end": cmd.dispatch_end,
+                "span_id": cmd.span_id,
+                "seq": cmd.seq,
+                "batch": cmd.batch,
+                "ctx_uid": note(cmd.ctx),
+                "has_cb": cmd.on_response is not None,
+            }
+
+        return {
+            "queues": [
+                (client, [freeze_cmd(c) for c in q])
+                for client, q in self._queues.items()
+            ],
+            "client_rr": list(self._client_rr),
+            "rr_pos": self._rr_pos,
+            "client_seq": dict(self._client_seq),
+            "dispatched_seq": dict(self._dispatched_seq),
+            "last_batch": self._last_batch,
+            "current": (
+                freeze_cmd(self._current) if self._current is not None else None
+            ),
+            "words_left": list(self._words_left),
+            "next_word_cycle": self._next_word_cycle,
+            "lock_until": self._lock_until,
+            "next_poll": self._next_poll,
+            "resp_words": list(self._resp_words),
+            "waiters": [
+                (
+                    key,
+                    [
+                        {
+                            "span_id": w.span_id,
+                            "deadline": w.deadline,
+                            "ctx_uid": note(w.ctx),
+                        }
+                        for w in ws
+                    ],
+                )
+                for key, ws in self._waiters.items()
+            ],
+            "retry_heap": [
+                (ready, rseq, note(ctx)) for ready, rseq, ctx in self._retry_heap
+            ],
+            "retry_seq": self._retry_seq,
+            "strikes": dict(self._strikes),
+            "quarantined": sorted(self.quarantined),
+            "client_lock_waits": {
+                client: list(v) for client, v in self.client_lock_waits.items()
+            },
+            "ctxs": ctxs,
+        }
+
+    def restore_state(self, state: Dict[str, object], th) -> None:
+        calls = self._host_calls if self._host_calls is not None else {}
+        unresolved = 0
+
+        def ctx_for(uid: int) -> Optional[CommandContext]:
+            nonlocal unresolved
+            if not uid:
+                return None
+            rec = calls.get(uid)
+            if rec is None:
+                unresolved += 1
+                return None
+            return rec["ctx"]
+
+        def cb_for(uid: int) -> Callable[[RoccResponse], None]:
+            nonlocal unresolved
+            rec = calls.get(uid) if uid else None
+            if rec is None:
+                unresolved += 1
+                return lambda resp: None
+            return rec["make_cb"]()
+
+        for uid, st in state["ctxs"].items():
+            rec = calls.get(uid)
+            if rec is None:
+                unresolved += 1
+                continue
+            ctx = rec["ctx"]
+            ctx.attempts = st["attempts"]
+            ctx.key = tuple(st["key"])
+
+        def thaw_cmd(d: Dict[str, object]) -> PendingCommand:
+            return PendingCommand(
+                list(d["words"]),
+                cb_for(d["ctx_uid"]) if d["has_cb"] else None,
+                tuple(d["key"]),
+                d["enqueue_cycle"],
+                d["client"],
+                d["dispatch_start"],
+                d["dispatch_end"],
+                d["span_id"],
+                ctx_for(d["ctx_uid"]),
+                d["seq"],
+                d["batch"],
+            )
+
+        self._queues = {
+            client: deque(thaw_cmd(d) for d in cmds)
+            for client, cmds in state["queues"]
+        }
+        self._client_rr = list(state["client_rr"])
+        self._rr_pos = state["rr_pos"]
+        self._client_seq = dict(state["client_seq"])
+        self._dispatched_seq = dict(state["dispatched_seq"])
+        lb = state["last_batch"]
+        self._last_batch = tuple(lb) if lb is not None else None
+        cur = state["current"]
+        self._current = thaw_cmd(cur) if cur is not None else None
+        self._words_left = list(state["words_left"])
+        self._next_word_cycle = state["next_word_cycle"]
+        self._lock_until = state["lock_until"]
+        self._next_poll = state["next_poll"]
+        self._resp_words = list(state["resp_words"])
+        self._waiters = {
+            tuple(key): deque(
+                _Waiter(
+                    cb_for(w["ctx_uid"]),
+                    w["span_id"],
+                    w["deadline"],
+                    ctx_for(w["ctx_uid"]),
+                )
+                for w in ws
+            )
+            for key, ws in state["waiters"]
+        }
+        # A retry without a resolvable context cannot be re-issued; drop it
+        # (counted in _snapshot_unresolved) rather than crash the restore.
+        heap = []
+        for ready, rseq, uid in state["retry_heap"]:
+            ctx = ctx_for(uid)
+            if ctx is not None:
+                heap.append((ready, rseq, ctx))
+        heapq.heapify(heap)
+        self._retry_heap = heap
+        self._retry_seq = state["retry_seq"]
+        self._strikes = {tuple(k): v for k, v in state["strikes"].items()}
+        self.quarantined.clear()
+        self.quarantined.update(tuple(k) for k in state["quarantined"])
+        self.client_lock_waits.clear()
+        self.client_lock_waits.update(
+            {client: list(v) for client, v in state["client_lock_waits"].items()}
+        )
+        self._snapshot_unresolved = unresolved
 
     # ---------------------------------------------------------- diagnostics
     def debug_state(self):

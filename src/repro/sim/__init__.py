@@ -16,6 +16,8 @@ from repro.sim.trace import (
     Span,
     TraceEvent,
     Tracer,
+    compact_state_dump,
+    export_state_dump,
     render_deadlock_report,
     render_skip_report,
     render_wake_report,
@@ -37,6 +39,8 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "compact_state_dump",
+    "export_state_dump",
     "render_deadlock_report",
     "render_skip_report",
     "render_wake_report",

@@ -362,6 +362,29 @@ class Component:
         """
         return None
 
+    #: Attribute names the default snapshot skips, on top of the scheduler
+    #: wiring (``_sched_index``/``_wake_hook``/``_cslot``).  Subclasses list
+    #: structural fields that the rebuild recreates and must not be
+    #: overwritten from a checkpoint.
+    _snapshot_exclude: Tuple[str, ...] = ()
+
+    def snapshot_state(self, fr) -> Dict[str, Any]:
+        """Freeze this component's mutable state for ``repro.snapshot``.
+
+        The default captures every instance attribute through the freezer
+        (channels and infrastructure become references, callables are
+        skipped, ``_snapshot_exclude`` names are dropped); components whose
+        state embeds host-side callbacks (the runtime server) override both
+        this and :meth:`restore_state` with an explicit protocol.
+        """
+        from repro.snapshot.engine import SCHED_ATTRS  # lazy: avoid cycle
+
+        return fr.freeze_attrs(self, exclude=SCHED_ATTRS)
+
+    def restore_state(self, state: Dict[str, Any], th) -> None:
+        """Apply a :meth:`snapshot_state` payload onto this live component."""
+        th.thaw_attrs(self, state)
+
 
 class Simulator:
     """Owns the clock; ticks components and commits channels each cycle.
@@ -858,9 +881,12 @@ class Simulator:
         return dump
 
     def _raise_deadlock(self, max_cycles: int) -> None:
-        from repro.sim.trace import render_deadlock_report  # lazy: avoid cycle
+        from repro.sim.trace import compact_state_dump, render_deadlock_report
 
-        dump = self.state_dump()
+        # Cap the attached dump: a 64-core/4-die config otherwise produces a
+        # multi-megabyte exception that drowns the diagnosis (the full dump
+        # stays available via state_dump() / tools' --export-state-dump).
+        dump = compact_state_dump(self.state_dump())
         raise DeadlockError(
             f"simulation {self.name!r} did not converge in {max_cycles} cycles\n"
             + render_deadlock_report(dump),

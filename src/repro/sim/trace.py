@@ -230,9 +230,15 @@ def render_deadlock_report(dump: Dict[str, Any], top: int = 16) -> str:
     else:
         lines.append("  all channels empty")
     components = dump.get("components", {})
-    for name, state in components.items():
+    comp_rows = list(components.items())
+    shown_comps = comp_rows[:top] if top is not None else comp_rows
+    for name, state in shown_comps:
         body = ", ".join(f"{k}={v!r}" for k, v in state.items())
         lines.append(f"  {name}: {body}")
+    if len(comp_rows) > len(shown_comps):
+        lines.append(
+            f"  ... {len(comp_rows) - len(shown_comps)} more component(s) elided"
+        )
     heap = dump.get("wake_heap")
     if heap is not None:
         if heap:
@@ -244,6 +250,57 @@ def render_deadlock_report(dump: Dict[str, Any], top: int = 16) -> str:
     if woken:
         lines.append(f"  woken now: {', '.join(woken)}")
     return "\n".join(lines)
+
+
+def compact_state_dump(
+    dump: Dict[str, Any],
+    max_channels: int = 64,
+    max_components: int = 64,
+    max_value_chars: int = 400,
+) -> Dict[str, Any]:
+    """Bound a :meth:`~repro.sim.Simulator.state_dump` for exception payloads.
+
+    Large configs (64 cores across 4 dies) produce dumps whose repr runs to
+    megabytes; errors carry a capped copy instead — the busiest channels and
+    the first components, with elision counts so nothing disappears silently.
+    Values whose repr exceeds ``max_value_chars`` are truncated in place.
+    """
+
+    def clip(value: Any) -> Any:
+        text = repr(value)
+        if len(text) <= max_value_chars:
+            return value
+        return text[:max_value_chars] + f"... <{len(text) - max_value_chars} chars elided>"
+
+    out = dict(dump)
+    channels = dump.get("channels", {})
+    if len(channels) > max_channels:
+        rows = sorted(
+            channels.items(), key=lambda kv: -(kv[1]["occupancy"] + kv[1]["staged"])
+        )
+        out["channels"] = dict(rows[:max_channels])
+        out["channels_elided"] = len(channels) - max_channels
+    components = dump.get("components", {})
+    capped = {}
+    for i, (name, state) in enumerate(components.items()):
+        if i >= max_components:
+            out["components_elided"] = len(components) - max_components
+            break
+        capped[name] = {k: clip(v) for k, v in state.items()}
+    out["components"] = capped
+    heap = dump.get("wake_heap")
+    if heap is not None and len(heap) > max_channels:
+        out["wake_heap"] = heap[:max_channels]
+        out["wake_heap_elided"] = len(heap) - max_channels
+    return out
+
+
+def export_state_dump(dump: Dict[str, Any], path: str) -> None:
+    """Write a state dump as JSON (non-serialisable leaves become reprs)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(dump, fh, indent=2, sort_keys=True, default=repr)
 
 
 def wake_summary(sim) -> Dict[str, Dict[str, float]]:

@@ -43,7 +43,7 @@ from repro.faults.chaos import (
 )
 
 
-def _export_sample(out: Path, seed: int, mode: str) -> None:
+def _export_sample(out: Path, seed: int, mode: str, export_dump: bool = False) -> None:
     """Re-run one known-faulty memcpy schedule with observability on and
     export its trace/metrics/fault-log artefacts."""
     from repro.core.build import BeethovenBuild
@@ -53,6 +53,7 @@ def _export_sample(out: Path, seed: int, mode: str) -> None:
     from repro.runtime import FpgaHandle
 
     size = 1024
+    deadlock_dump = None
     build = BeethovenBuild(
         memcpy_config(n_cores=2),
         AWSF1Platform(),
@@ -72,7 +73,9 @@ def _export_sample(out: Path, seed: int, mode: str) -> None:
                 "Memcpy", "memcpy", core,
                 src=src.fpga_addr, dst=dst.fpga_addr, len_bytes=size,
             ).get(max_cycles=400_000)
-        except (FaultError, DeadlockError):
+        except DeadlockError as exc:
+            deadlock_dump = exc.dump or deadlock_dump
+        except FaultError:
             pass  # typed errors are an allowed outcome; the trace still tells the story
     build.export_chrome_trace(str(out / "sample-trace.json"))
     build.export_metrics(str(out / "sample-metrics.json"))
@@ -90,6 +93,13 @@ def _export_sample(out: Path, seed: int, mode: str) -> None:
         )
         + "\n"
     )
+    if export_dump:
+        from repro.sim.trace import compact_state_dump, export_state_dump
+
+        # Prefer the dump a deadlock carried (the interesting moment);
+        # otherwise dump the end-of-run state so the flag always delivers.
+        dump = deadlock_dump or compact_state_dump(build.design.sim.state_dump())
+        export_state_dump(dump, str(out / "sample-state-dump.json"))
 
 
 def main(argv=None) -> int:
@@ -112,6 +122,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--no-sample", action="store_true", help="skip the instrumented sample export"
+    )
+    parser.add_argument(
+        "--export-state-dump",
+        action="store_true",
+        help="also export the sample run's simulator state dump (or the dump "
+        "carried by a deadlock, if one fires) as sample-state-dump.json",
     )
     args = parser.parse_args(argv)
     out = Path(args.out)
@@ -149,7 +165,7 @@ def main(argv=None) -> int:
             None,
         )
         if sample is not None:
-            _export_sample(out, sample.seed, sample.mode)
+            _export_sample(out, sample.seed, sample.mode, export_dump=args.export_state_dump)
             print(
                 f"sample artefacts: memcpy/{sample.mode} seed={sample.seed} "
                 f"({sample.n_faults} faults, outcome={sample.outcome})"

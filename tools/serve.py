@@ -96,70 +96,108 @@ def main(argv=None) -> int:
                         help="seeds for the --smoke chaos slice")
     parser.add_argument("--min-jain", type=float, default=0.0,
                         help="fail unless Jain fairness reaches this floor")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="keep a stage log in --out and skip stages a previous run with "
+        "identical arguments already completed (report / attribution / chaos)",
+    )
     args = parser.parse_args(argv)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+
+    stage_log = None
+    if args.resume:
+        from repro.snapshot.store import StageLog
+
+        config = {k: v for k, v in vars(args).items() if k != "resume"}
+        stage_log = StageLog(str(out / "stages.json"), config)
+
+    def _stage_done(name: str, *artifacts: Path) -> bool:
+        return (
+            stage_log is not None
+            and stage_log.is_done(name)
+            and all(p.exists() for p in artifacts)
+        )
+
+    def _mark(name: str) -> None:
+        if stage_log is not None:
+            stage_log.mark_done(name)
 
     profile = args.profile
     n_requests = min(args.requests, 8) if args.smoke else args.requests
     if args.smoke:
         profile = "smoke" if args.profile == "symmetric" else args.profile
 
-    if args.smoke:
-        report_dict = _mode_identity(profile, args.seed, n_requests)
-        print(
-            f"determinism: profile {profile!r} bit-identical across "
-            f"{len(SCHEDULING_MODES)} scheduling backends"
-        )
+    if _stage_done("report", out / "BENCH_serving.json"):
+        report_dict = json.loads((out / "BENCH_serving.json").read_text())
+        print("resume: report stage already complete")
     else:
-        report, _service, _build = run_scenario(
-            profile, seed=args.seed, mode=args.mode, n_requests=n_requests
+        if args.smoke:
+            report_dict = _mode_identity(profile, args.seed, n_requests)
+            print(
+                f"determinism: profile {profile!r} bit-identical across "
+                f"{len(SCHEDULING_MODES)} scheduling backends"
+            )
+        else:
+            report, _service, _build = run_scenario(
+                profile, seed=args.seed, mode=args.mode, n_requests=n_requests
+            )
+            report_dict = report.to_dict()
+        (out / "BENCH_serving.json").write_text(
+            json.dumps(report_dict, indent=2, sort_keys=True) + "\n"
         )
-        report_dict = report.to_dict()
+        _mark("report")
 
-    # Instrumented re-run of the same profile/seed for the tenant-tagged
-    # attribution artefact (the uninstrumented runs above stay cheap).
-    report, service, build = run_scenario(
-        profile, seed=args.seed, mode=args.mode, n_requests=n_requests,
-        observability=Observability(enabled=True, profile=False),
-    )
-    attribution = build.attribution_report(by_tenant=True)
-    (out / "serving-attribution.json").write_text(
-        json.dumps(attribution, indent=2, sort_keys=True, default=float) + "\n"
-    )
-    (out / "BENCH_serving.json").write_text(
-        json.dumps(report_dict, indent=2, sort_keys=True) + "\n"
-    )
-    text = report.render()
-    tenants = attribution.get("tenants", {})
-    if tenants:
-        text += "\n  per-tenant attribution bottleneck: " + ", ".join(
-            f"{name or 'untagged'}={t['bottleneck']}" for name, t in tenants.items()
+    if _stage_done("attribution", out / "serving-attribution.json", out / "report.txt"):
+        text = (out / "report.txt").read_text().rstrip("\n")
+        print(text)
+        print("resume: attribution stage already complete")
+    else:
+        # Instrumented re-run of the same profile/seed for the tenant-tagged
+        # attribution artefact (the uninstrumented runs above stay cheap).
+        report, service, build = run_scenario(
+            profile, seed=args.seed, mode=args.mode, n_requests=n_requests,
+            observability=Observability(enabled=True, profile=False),
         )
-    print(text)
-    (out / "report.txt").write_text(text + "\n")
+        attribution = build.attribution_report(by_tenant=True)
+        (out / "serving-attribution.json").write_text(
+            json.dumps(attribution, indent=2, sort_keys=True, default=float) + "\n"
+        )
+        text = report.render()
+        tenants = attribution.get("tenants", {})
+        if tenants:
+            text += "\n  per-tenant attribution bottleneck: " + ", ".join(
+                f"{name or 'untagged'}={t['bottleneck']}" for name, t in tenants.items()
+            )
+        print(text)
+        (out / "report.txt").write_text(text + "\n")
+        _mark("attribution")
 
     if args.smoke:
-        outcomes = _chaos_slice(args.chaos_seeds)
-        (out / "serving-chaos.json").write_text(
-            json.dumps([asdict(o) for o in outcomes], indent=2) + "\n"
-        )
-        violations = [o for o in outcomes if o.violates_contract]
-        hist: dict = {}
-        for o in outcomes:
-            hist[o.outcome] = hist.get(o.outcome, 0) + 1
-        print(
-            f"serving chaos: {len(outcomes)} runs "
-            + " ".join(f"{k}={v}" for k, v in sorted(hist.items()))
-        )
-        if violations:
-            for o in violations[:10]:
-                print(
-                    f"FAIL: serving chaos seed={o.seed} mode={o.mode}: "
-                    f"{o.outcome} ({o.error})",
-                    file=sys.stderr,
-                )
-            return 1
+        if _stage_done("chaos", out / "serving-chaos.json"):
+            print("resume: chaos stage already complete")
+        else:
+            outcomes = _chaos_slice(args.chaos_seeds)
+            (out / "serving-chaos.json").write_text(
+                json.dumps([asdict(o) for o in outcomes], indent=2) + "\n"
+            )
+            violations = [o for o in outcomes if o.violates_contract]
+            hist: dict = {}
+            for o in outcomes:
+                hist[o.outcome] = hist.get(o.outcome, 0) + 1
+            print(
+                f"serving chaos: {len(outcomes)} runs "
+                + " ".join(f"{k}={v}" for k, v in sorted(hist.items()))
+            )
+            if violations:
+                for o in violations[:10]:
+                    print(
+                        f"FAIL: serving chaos seed={o.seed} mode={o.mode}: "
+                        f"{o.outcome} ({o.error})",
+                        file=sys.stderr,
+                    )
+                return 1
+            _mark("chaos")
 
     jain = report_dict["fairness_jain"]
     if args.min_jain and jain < args.min_jain:

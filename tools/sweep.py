@@ -60,8 +60,20 @@ def _make_farm(args, cache: bool = True) -> Farm:
     return Farm(
         n_workers=args.workers,
         cache=cache and not getattr(args, "no_cache", False),
-        cache_dir=getattr(args, "cache_dir", None),
+        cache_dir=_cache_dir(args),
     )
+
+
+def _cache_dir(args):
+    """--resume pins the result cache inside --out so an interrupted sweep
+    rerun with the same arguments is served its completed jobs and only
+    recomputes the remainder."""
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    if getattr(args, "resume", False):
+        return os.path.join(args.out or ".", "resume-cache")
+    return None
 
 
 def _parse_counts(spec: str):
@@ -146,30 +158,76 @@ def _smoke_jobs(max_cores: int):
 def cmd_smoke(args) -> int:
     # A fresh cache per smoke run unless one is supplied: the cold-cache
     # speedup measurement must not be served by a previous invocation.
-    if args.cache_dir:
-        cache_dir = args.cache_dir
-    else:
+    # --resume deliberately trades that isolation for restartability: the
+    # cache (and a stage log) live in --out, so a killed smoke run picks up
+    # where it stopped — completed passes are skipped, the interrupted
+    # pass is served its finished jobs.
+    cache_dir = _cache_dir(args)
+    if cache_dir is None:
         import tempfile
 
         cache_dir = tempfile.mkdtemp(prefix="repro-farm-smoke-")
+    out_dir = args.out or "."
+    os.makedirs(out_dir, exist_ok=True)
+    stage_log = stage_state = None
+    if args.resume:
+        import pickle
+
+        from repro.snapshot.store import StageLog
+
+        stage_log = StageLog(
+            os.path.join(out_dir, "smoke-stages.json"),
+            {"workers": args.workers, "max_cores": args.max_cores},
+        )
+        state_path = os.path.join(out_dir, "smoke-resume.pkl")
+        stage_state = {}
+        if os.path.exists(state_path):
+            try:
+                with open(state_path, "rb") as fh:
+                    stage_state = pickle.load(fh)
+            except Exception:
+                stage_state = {}
+
+    def _stage_done(name):
+        return stage_log is not None and stage_log.is_done(name) and name in stage_state
+
+    def _stage_save(name, payload):
+        if stage_log is None:
+            return
+        stage_state[name] = payload
+        with open(state_path, "wb") as fh:
+            pickle.dump(stage_state, fh)
+        stage_log.mark_done(name)
+
     report = {"workers": args.workers, "max_cores": args.max_cores}
 
     # Pass 0: serial reference (no cache, no workers) — ground truth.
-    serial_farm = Farm.serial()
-    t0 = time.perf_counter()
-    reference = serial_farm.run(_smoke_jobs(args.max_cores))
-    report["serial_seconds"] = time.perf_counter() - t0
-    ref_values = [r.value for r in reference]
-    if not all(r.ok for r in reference):
-        print("serial reference pass failed:", [r.error for r in reference if not r.ok])
-        return 1
+    if _stage_done("serial"):
+        ref_values, report["serial_seconds"] = stage_state["serial"]
+        print("resume: serial reference pass already complete")
+    else:
+        serial_farm = Farm.serial()
+        t0 = time.perf_counter()
+        reference = serial_farm.run(_smoke_jobs(args.max_cores))
+        report["serial_seconds"] = time.perf_counter() - t0
+        ref_values = [r.value for r in reference]
+        if not all(r.ok for r in reference):
+            print("serial reference pass failed:", [r.error for r in reference if not r.ok])
+            return 1
+        _stage_save("serial", (ref_values, report["serial_seconds"]))
 
     # Pass 1: parallel, cold cache.
-    farm1 = Farm(n_workers=args.workers, cache_dir=cache_dir)
-    t0 = time.perf_counter()
-    run1 = farm1.run(_smoke_jobs(args.max_cores))
-    report["parallel_seconds"] = time.perf_counter() - t0
-    report["run1"] = farm1.stats()
+    if _stage_done("run1"):
+        run1_values, report["parallel_seconds"], report["run1"] = stage_state["run1"]
+        print("resume: parallel pass already complete")
+    else:
+        farm1 = Farm(n_workers=args.workers, cache_dir=cache_dir)
+        t0 = time.perf_counter()
+        run1 = farm1.run(_smoke_jobs(args.max_cores))
+        report["parallel_seconds"] = time.perf_counter() - t0
+        report["run1"] = farm1.stats()
+        run1_values = [r.value for r in run1]
+        _stage_save("run1", (run1_values, report["parallel_seconds"], report["run1"]))
 
     # Pass 2: same sweep again — must be served from the cache.
     farm2 = Farm(n_workers=args.workers, cache_dir=cache_dir)
@@ -181,14 +239,12 @@ def cmd_smoke(args) -> int:
     speedup = report["serial_seconds"] / max(report["parallel_seconds"], 1e-9)
     hit_rate = report["run2"]["cache_hit_rate"]
     identical = (
-        [r.value for r in run1] == ref_values and [r.value for r in run2] == ref_values
+        run1_values == ref_values and [r.value for r in run2] == ref_values
     )
     report["speedup"] = speedup
     report["second_run_hit_rate"] = hit_rate
     report["bit_identical"] = identical
 
-    out_dir = args.out or "."
-    os.makedirs(out_dir, exist_ok=True)
     with open(os.path.join(out_dir, "smoke-stats.json"), "w") as f:
         json.dump(report, f, indent=2, sort_keys=True, default=str)
     _emit_artifacts(farm2, out_dir)
@@ -221,6 +277,10 @@ def main(argv=None) -> int:
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: REPRO_FARM_WORKERS or min(4, cpus))")
         p.add_argument("--out", default="", help="artefact directory (stats/metrics/trace)")
+        p.add_argument("--resume", action="store_true",
+                       help="keep resume state in --out: an interrupted run rerun "
+                       "with the same arguments skips completed work (job cache; "
+                       "for smoke, whole completed passes)")
         if cache:
             p.add_argument("--cache-dir", default=None,
                            help="result cache root (default: ~/.cache/repro-farm)")
